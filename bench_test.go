@@ -1,0 +1,441 @@
+package asagen_test
+
+// The benchmark harness regenerates the paper's evaluation (see the
+// experiment index in DESIGN.md):
+//
+//	E1  BenchmarkGenerateTable1       Table 1 generation times per (f, r)
+//	E2  BenchmarkRenderText           Fig. 14 textual artefact
+//	E3  BenchmarkRenderDot/XML        Fig. 15 diagram artefacts
+//	E4  BenchmarkRenderGoSource       Fig. 16 source artefact
+//	E5  BenchmarkGenerateEFSM         §5.3 nine-state EFSM generation
+//	E6  BenchmarkDelivery*            FSM vs generic vs generated source vs
+//	                                  EFSM execution cost (§4.4)
+//	E7  BenchmarkCommitRound          full version-service commit round
+//	E8  BenchmarkStoreRetrieve        storage quorum write + verified read
+//	E9  BenchmarkChordLookup          routing hops vs overlay size
+//	E11 BenchmarkPipelineStages       pruning/merging ablation
+import (
+	"fmt"
+	"testing"
+
+	"asagen/internal/chord"
+	"asagen/internal/commit"
+	"asagen/internal/commit/commitfsm4"
+	"asagen/internal/consensus"
+	"asagen/internal/core"
+	"asagen/internal/render"
+	"asagen/internal/runtime"
+	"asagen/internal/simnet"
+	"asagen/internal/storage"
+	"asagen/internal/termination"
+	"asagen/internal/version"
+)
+
+// table1Rows are the published (f, r) pairs of Table 1.
+var table1Rows = []struct{ f, r int }{
+	{1, 4}, {2, 7}, {4, 13}, {8, 25}, {15, 46},
+}
+
+// BenchmarkGenerateTable1 regenerates Table 1's generation-time column: one
+// sub-benchmark per published (f, r) pair. State counts are asserted so a
+// regression in the model cannot hide in a timing table.
+func BenchmarkGenerateTable1(b *testing.B) {
+	finals := map[int]int{4: 33, 7: 85, 13: 261, 25: 901, 46: 2945}
+	for _, row := range table1Rows {
+		b.Run(fmt.Sprintf("f=%d/r=%d", row.f, row.r), func(b *testing.B) {
+			model, err := commit.NewModel(row.r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var machine *core.StateMachine
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				machine, err = core.Generate(model, core.WithoutDescriptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if machine.Stats.FinalStates != finals[row.r] {
+				b.Fatalf("final states = %d, want %d", machine.Stats.FinalStates, finals[row.r])
+			}
+			b.ReportMetric(float64(machine.Stats.InitialStates), "initial-states")
+			b.ReportMetric(float64(machine.Stats.FinalStates), "final-states")
+		})
+	}
+}
+
+// BenchmarkPipelineStages is the E11 ablation: generation cost without
+// pruning, without merging, and full, on the redundant reading whose
+// machines actually shrink under merging.
+func BenchmarkPipelineStages(b *testing.B) {
+	configs := []struct {
+		name string
+		opts []core.Option
+	}{
+		{"full", nil},
+		{"no-merge", []core.Option{core.WithoutMerging()}},
+		{"no-prune", []core.Option{core.WithoutPruning()}},
+		{"no-prune-no-merge", []core.Option{core.WithoutPruning(), core.WithoutMerging()}},
+	}
+	model, err := commit.NewModel(13, commit.WithVariant(commit.RedundantVariant()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := append([]core.Option{core.WithoutDescriptions()}, cfg.opts...)
+			var machine *core.StateMachine
+			for i := 0; i < b.N; i++ {
+				machine, err = core.Generate(model, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(machine.Stats.FinalStates), "final-states")
+		})
+	}
+}
+
+func buildCommitMachine(b *testing.B, r int) *core.StateMachine {
+	b.Helper()
+	model, err := commit.NewModel(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine, err := core.Generate(model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return machine
+}
+
+// BenchmarkRenderText measures the Fig. 14 textual artefact (E2).
+func BenchmarkRenderText(b *testing.B) {
+	machine := buildCommitMachine(b, 4)
+	r := render.NewTextRenderer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := r.Render(machine); len(out) == 0 {
+			b.Fatal("empty artefact")
+		}
+	}
+}
+
+// BenchmarkRenderDot measures the Fig. 15 DOT artefact (E3).
+func BenchmarkRenderDot(b *testing.B) {
+	machine := buildCommitMachine(b, 4)
+	r := render.NewDotRenderer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := r.Render(machine); len(out) == 0 {
+			b.Fatal("empty artefact")
+		}
+	}
+}
+
+// BenchmarkRenderXML measures the Fig. 15 XML artefact (E3).
+func BenchmarkRenderXML(b *testing.B) {
+	machine := buildCommitMachine(b, 4)
+	r := render.NewXMLRenderer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Render(machine); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRenderGoSource measures the Fig. 16 generated implementation
+// (E4), including gofmt formatting.
+func BenchmarkRenderGoSource(b *testing.B) {
+	machine := buildCommitMachine(b, 4)
+	r := render.NewGoSourceRenderer("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Render(machine); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateEFSM measures §5.3 EFSM generalisation across models
+// (E5).
+func BenchmarkGenerateEFSM(b *testing.B) {
+	b.Run("commit/r=13", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := commit.GenerateEFSM(13); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("consensus/n=9", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := consensus.GenerateEFSM(9); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("termination/k=8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := termination.GenerateEFSM(8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// commitRoundMessages is one uncontended commit round at a member that
+// receives the update while free.
+var commitRoundMessages = []string{
+	commit.MsgFree, commit.MsgUpdate, commit.MsgVote, commit.MsgVote,
+	commit.MsgCommit, commit.MsgCommit,
+}
+
+// BenchmarkDeliveryInterpreter measures one commit round on the
+// interpreted generated machine (E6).
+func BenchmarkDeliveryInterpreter(b *testing.B) {
+	machine := buildCommitMachine(b, 4)
+	inst, err := runtime.New(machine, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.Reset()
+		for _, msg := range commitRoundMessages {
+			if _, err := inst.Deliver(msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDeliveryGenerated measures one commit round on the generated
+// source implementation — the paper's deployed artefact (E6).
+func BenchmarkDeliveryGenerated(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := commitfsm4.New(nil)
+		for _, msg := range commitRoundMessages {
+			m.Receive(msg)
+		}
+		if !m.Finished() {
+			b.Fatal("round did not finish")
+		}
+	}
+}
+
+// BenchmarkDeliveryGeneric measures one commit round on the hand-written
+// generic algorithm, the non-FSM baseline the paper expected to be
+// comparable (§4.4, E6).
+func BenchmarkDeliveryGeneric(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := commit.NewGeneric(4, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, msg := range commitRoundMessages {
+			g.Receive(msg)
+		}
+		if !g.Finished() {
+			b.Fatal("round did not finish")
+		}
+	}
+}
+
+// BenchmarkDeliveryEFSM measures one commit round on the nine-state EFSM
+// (E6: the intermediate point on the §3.2 spectrum).
+func BenchmarkDeliveryEFSM(b *testing.B) {
+	efsm, err := commit.GenerateEFSM(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, err := core.NewEFSMInstance(efsm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, msg := range commitRoundMessages {
+			inst.Deliver(msg)
+		}
+		if !inst.Finished() {
+			b.Fatal("round did not finish")
+		}
+	}
+}
+
+// BenchmarkCommitRound measures a full version-service append over the
+// simulated network — peer-set location, update fan-out, quorum voting,
+// commit exchange and client confirmation (E7).
+func BenchmarkCommitRound(b *testing.B) {
+	for _, r := range []int{4, 7} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			net := simnet.New(1)
+			ring, err := chord.Build(1, 4*r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			svc, err := version.NewService(net, ring, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			client, err := svc.NewClient("bench-client")
+			if err != nil {
+				b.Fatal(err)
+			}
+			guid := storage.NewGUID("bench-file")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pid := storage.ComputePID([]byte(fmt.Sprintf("v%d", i)))
+				if err := client.Update(guid, pid); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreRetrieve measures the block-storage quorum write and
+// hash-verified read (E8).
+func BenchmarkStoreRetrieve(b *testing.B) {
+	net := simnet.New(1)
+	ring, err := chord.Build(1, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range ring.Nodes() {
+		id := simnet.NodeID(n.Name())
+		if err := net.AddNode(id, storage.NewNode(id, storage.Honest)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	endpoint, err := storage.NewEndpoint("bench-client", net, ring, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload[0] = byte(i)
+		payload[1] = byte(i >> 8)
+		pid, err := endpoint.Store(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := endpoint.Retrieve(pid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChordLookup measures routed lookups across overlay sizes and
+// reports the average hop count — the logarithmic-routing series (E9).
+func BenchmarkChordLookup(b *testing.B) {
+	for _, size := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			ring, err := chord.Build(7, size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes := ring.Nodes()
+			totalHops := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				from := nodes[i%len(nodes)]
+				_, hops, err := from.FindSuccessor(chord.HashString(fmt.Sprintf("key-%d", i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalHops += hops
+			}
+			b.ReportMetric(float64(totalHops)/float64(b.N), "hops/op")
+		})
+	}
+}
+
+// BenchmarkContendedCommit measures commit rounds under two-client
+// contention and reports the attempts needed, comparing retry policies
+// (the §2.2 deadlock/back-off discussion).
+func BenchmarkContendedCommit(b *testing.B) {
+	policies := []version.RetryPolicy{
+		version.FixedBackoff{Interval: 50 * 1e6},
+		version.RandomBackoff{Max: 100 * 1e6},
+		version.ExponentialBackoff{Base: 25 * 1e6, Cap: 400 * 1e6},
+	}
+	for _, policy := range policies {
+		b.Run(policy.Name(), func(b *testing.B) {
+			net := simnet.New(3)
+			ring, err := chord.Build(3, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			svc, err := version.NewService(net, ring, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c1, err := svc.NewClient("c1", version.WithRetryPolicy(policy))
+			if err != nil {
+				b.Fatal(err)
+			}
+			c2, err := svc.NewClient("c2", version.WithRetryPolicy(policy))
+			if err != nil {
+				b.Fatal(err)
+			}
+			guid := storage.NewGUID("contended")
+			attempts := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c1.Update(guid, storage.ComputePID([]byte(fmt.Sprintf("a%d", i)))); err != nil {
+					b.Fatal(err)
+				}
+				attempts += c1.Attempts
+				if err := c2.Update(guid, storage.ComputePID([]byte(fmt.Sprintf("b%d", i)))); err != nil {
+					b.Fatal(err)
+				}
+				attempts += c2.Attempts
+			}
+			b.ReportMetric(float64(attempts)/float64(2*b.N), "attempts/op")
+		})
+	}
+}
+
+// BenchmarkGenerationPolicy compares the §4.2 deployment policies for
+// dynamic parameter values: regenerating the machine on every use versus
+// memoising generated machines per parameter (the paper's caching
+// suggestion).
+func BenchmarkGenerationPolicy(b *testing.B) {
+	factory := func(parameter int) (core.Model, error) {
+		return commit.NewModel(parameter)
+	}
+	b.Run("regenerate-every-use", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			model, err := commit.NewModel(7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.Generate(model, core.WithoutDescriptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache, err := core.NewCache(factory, core.WithoutDescriptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Machine(7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// TestRunSmallCluster drives the full stack end to end: overlay build,
+// peer-set location, three committed versions, agreed history read-back.
+func TestRunSmallCluster(t *testing.T) {
+	if err := run([]string{"-nodes", "16", "-updates", "3", "-seed", "4"}); err != nil {
+		t.Fatalf("asasim: %v", err)
+	}
+}
+
+// TestRunWithByzantineMember tolerates one silent peer-set member (f = 1).
+func TestRunWithByzantineMember(t *testing.T) {
+	if err := run([]string{"-nodes", "24", "-updates", "2", "-byzantine", "1", "-seed", "9"}); err != nil {
+		t.Fatalf("asasim with byzantine member: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-r", "2"}); err == nil {
+		t.Error("replication factor 2 accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

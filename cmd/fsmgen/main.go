@@ -1,0 +1,128 @@
+// Command fsmgen executes the commit-protocol abstract model and renders
+// the generated state machine as one of the paper's artefact types:
+//
+//	text      textual state catalogue (Fig. 14)
+//	dot       Graphviz state-transition diagram (Fig. 15)
+//	xml       XML diagram interchange document (Fig. 15)
+//	go        Go source implementation (Fig. 16)
+//	doc       markdown documentation
+//	efsm      textual EFSM catalogue (§5.3)
+//	efsm-dot  Graphviz EFSM diagram
+//
+// Examples:
+//
+//	fsmgen -r 4 -format text
+//	fsmgen -r 7 -format go -pkg commitfsm7 -o machine_gen.go
+//	fsmgen -r 13 -format efsm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"asagen/internal/commit"
+	"asagen/internal/core"
+	"asagen/internal/render"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fsmgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fsmgen", flag.ContinueOnError)
+	var (
+		r         = fs.Int("r", 4, "replication factor (minimum 4)")
+		format    = fs.String("format", "text", "artefact: text, dot, xml, go, doc, efsm, efsm-dot")
+		pkg       = fs.String("pkg", "commitfsm", "package name for -format go")
+		out       = fs.String("o", "", "output file (stdout when empty)")
+		variant   = fs.String("variant", "strict", "Fig. 9 reading: strict or redundant")
+		stats     = fs.Bool("stats", false, "print generation statistics to stderr")
+		noMerge   = fs.Bool("no-merge", false, "skip the equivalent-state merging step")
+		noPrune   = fs.Bool("no-prune", false, "skip the unreachable-state pruning step")
+		noComment = fs.Bool("no-comments", false, "omit generated state commentary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var opts []commit.Option
+	switch *variant {
+	case "strict":
+		// Default.
+	case "redundant":
+		opts = append(opts, commit.WithVariant(commit.RedundantVariant()))
+	default:
+		return fmt.Errorf("unknown variant %q", *variant)
+	}
+
+	var artefact string
+	switch *format {
+	case "efsm", "efsm-dot":
+		efsm, err := commit.GenerateEFSM(*r, opts...)
+		if err != nil {
+			return err
+		}
+		if *format == "efsm" {
+			artefact = render.RenderEFSMText(efsm)
+		} else {
+			artefact = render.RenderEFSMDot(efsm)
+		}
+	default:
+		model, err := commit.NewModel(*r, opts...)
+		if err != nil {
+			return err
+		}
+		var genOpts []core.Option
+		if *noMerge {
+			genOpts = append(genOpts, core.WithoutMerging())
+		}
+		if *noPrune {
+			genOpts = append(genOpts, core.WithoutPruning())
+		}
+		if *noComment {
+			genOpts = append(genOpts, core.WithoutDescriptions())
+		}
+		machine, err := core.Generate(model, genOpts...)
+		if err != nil {
+			return err
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "model=%s r=%d f=%d initial=%d reachable=%d final=%d transitions=%d\n",
+				machine.ModelName, *r, model.FaultTolerance(),
+				machine.Stats.InitialStates, machine.Stats.ReachableStates,
+				machine.Stats.FinalStates, machine.TransitionCount())
+		}
+		switch *format {
+		case "text":
+			artefact = render.NewTextRenderer().Render(machine)
+		case "dot":
+			artefact = render.NewDotRenderer().Render(machine)
+		case "xml":
+			artefact, err = render.NewXMLRenderer().Render(machine)
+			if err != nil {
+				return err
+			}
+		case "go":
+			artefact, err = render.NewGoSourceRenderer(*pkg).Render(machine)
+			if err != nil {
+				return err
+			}
+		case "doc":
+			artefact = render.NewDocRenderer().Render(machine)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+
+	if *out == "" {
+		_, err := io.WriteString(stdout, artefact)
+		return err
+	}
+	return os.WriteFile(*out, []byte(artefact), 0o644)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFormats(t *testing.T) {
+	tests := []struct {
+		name   string
+		args   []string
+		wantIn string
+	}{
+		{"text", []string{"-r", "4", "-format", "text"}, "state: F/0/F/0/F/F/F"},
+		{"dot", []string{"-r", "4", "-format", "dot"}, "digraph"},
+		{"xml", []string{"-r", "4", "-format", "xml"}, "<stateMachineDiagram"},
+		{"go", []string{"-r", "4", "-format", "go", "-pkg", "demo"}, "package demo"},
+		{"doc", []string{"-r", "4", "-format", "doc"}, "# State machine"},
+		{"efsm", []string{"-r", "13", "-format", "efsm"}, "states: 9"},
+		{"efsm-dot", []string{"-r", "7", "-format", "efsm-dot"}, "digraph"},
+		{"redundant", []string{"-r", "4", "-variant", "redundant", "-format", "text"}, "state: "},
+		{"no-merge", []string{"-r", "4", "-no-merge", "-format", "doc"}, "| States (merged) | 33 |"},
+		{"no-comments", []string{"-r", "4", "-no-comments", "-format", "text"}, "Transitions:"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(tt.args, &sb); err != nil {
+				t.Fatalf("run(%v): %v", tt.args, err)
+			}
+			if !strings.Contains(sb.String(), tt.wantIn) {
+				t.Errorf("output missing %q", tt.wantIn)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{"-r", "3"},                    // replication too small
+		{"-format", "nonsense"},        // unknown format
+		{"-variant", "nonsense"},       // unknown variant
+		{"-r", "3", "-format", "efsm"}, // efsm path validates r too
+		{"-bogus-flag"},                // flag parse error
+	}
+	for _, args := range tests {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "machine.txt")
+	var sb strings.Builder
+	if err := run([]string{"-r", "4", "-format", "text", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "state machine: bft-commit") {
+		t.Error("file missing artefact header")
+	}
+	if sb.Len() != 0 {
+		t.Error("wrote to stdout despite -o")
+	}
+}
+
+func TestGeneratedGoMatchesCheckedIn(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-r", "4", "-format", "go", "-pkg", "commitfsm4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	checked, err := os.ReadFile("../../internal/commit/commitfsm4/machine.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != string(checked) {
+		t.Error("fsmgen output differs from checked-in commitfsm4; regenerate it")
+	}
+}

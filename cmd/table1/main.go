@@ -1,0 +1,106 @@
+// Command table1 regenerates the paper's Table 1: for each published
+// (f, r) pair it executes the abstract model, reports the initial and final
+// state counts — which must match the paper exactly — and measures the
+// wall-clock generation time on this machine (the paper's times were taken
+// on a 2.33 GHz Core 2 Duo; only the growth shape is comparable).
+//
+//	table1 [-paper] [-variant strict|redundant]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"asagen/internal/commit"
+	"asagen/internal/core"
+)
+
+// paperRows are the published Table 1 rows: fault tolerance, replication
+// factor, initial and final state counts, and the paper's generation time.
+var paperRows = []struct {
+	f, r          int
+	initialStates int
+	finalStates   int
+	paperSeconds  float64
+}{
+	{1, 4, 512, 33, 0.10},
+	{2, 7, 1568, 85, 0.12},
+	{4, 13, 5408, 261, 0.38},
+	{8, 25, 20000, 901, 2.2},
+	{15, 46, 67712, 2945, 19.1},
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	showPaper := fs.Bool("paper", true, "include the paper's published numbers for comparison")
+	variant := fs.String("variant", "strict", "Fig. 9 reading: strict or redundant")
+	repeats := fs.Int("repeats", 3, "measurement repeats per row (minimum taken)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var opts []commit.Option
+	switch *variant {
+	case "strict":
+	case "redundant":
+		opts = append(opts, commit.WithVariant(commit.RedundantVariant()))
+	default:
+		return fmt.Errorf("unknown variant %q", *variant)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	header := "f\tr\tinitial states\tfinal states\tgeneration time (s)"
+	if *showPaper {
+		header += "\tpaper initial\tpaper final\tpaper time (s)"
+	}
+	fmt.Fprintln(w, header)
+
+	mismatches := 0
+	for _, row := range paperRows {
+		model, err := commit.NewModel(row.r, opts...)
+		if err != nil {
+			return err
+		}
+		var machine *core.StateMachine
+		best := time.Duration(0)
+		for rep := 0; rep < max(1, *repeats); rep++ {
+			start := time.Now()
+			machine, err = core.Generate(model, core.WithoutDescriptions())
+			elapsed := time.Since(start)
+			if err != nil {
+				return err
+			}
+			if rep == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		line := fmt.Sprintf("%d\t%d\t%d\t%d\t%.4f",
+			row.f, row.r, machine.Stats.InitialStates, machine.Stats.FinalStates,
+			best.Seconds())
+		if *showPaper {
+			line += fmt.Sprintf("\t%d\t%d\t%.2f", row.initialStates, row.finalStates, row.paperSeconds)
+			if machine.Stats.InitialStates != row.initialStates ||
+				machine.Stats.FinalStates != row.finalStates {
+				line += "\tMISMATCH"
+				mismatches++
+			}
+		}
+		fmt.Fprintln(w, line)
+	}
+	if mismatches > 0 {
+		w.Flush()
+		return fmt.Errorf("%d rows deviate from the published counts", mismatches)
+	}
+	return nil
+}

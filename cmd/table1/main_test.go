@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// TestRunMatchesPaper executes the Table 1 reproduction; run returns an
+// error when any generated count deviates from the published numbers, so a
+// plain invocation is the regression check.
+func TestRunMatchesPaper(t *testing.T) {
+	if err := run([]string{"-repeats", "1"}); err != nil {
+		t.Fatalf("table1: %v", err)
+	}
+}
+
+func TestRunRedundantVariant(t *testing.T) {
+	// The redundant reading merges to the same published finals.
+	if err := run([]string{"-repeats", "1", "-variant", "redundant"}); err != nil {
+		t.Fatalf("table1 -variant redundant: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-variant", "nonsense"}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

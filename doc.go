@@ -1,0 +1,11 @@
+// Package asagen reproduces "Design, Implementation and Deployment of
+// State Machines Using a Generative Approach" (Kirby, Dearle, Norcross;
+// DSN 2007): a generative methodology in which a distributed algorithm
+// whose state space depends on a parameter is captured once as an abstract
+// model, from which a family of finite state machines — and their textual,
+// diagrammatic, documentary and source-code artefacts — are generated.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured record, and bench_test.go for the benchmark
+// harness that regenerates the paper's evaluation.
+package asagen

@@ -1,0 +1,429 @@
+// Package chord implements the key-based routing layer of the ASA
+// architecture (§2, Fig. 1): a Chord-style structured overlay that
+// dynamically maps any key to a unique live node. Nodes are organised in a
+// logical circle over a 64-bit identifier space; each node maintains a
+// successor list for resilience and finger-table chords across the circle,
+// giving lookup cost logarithmic in the network size.
+//
+// The overlay is simulated in memory: routing decisions use only each
+// node's own (possibly stale) tables, so hop counts and the effects of
+// churn are faithful, while the Ring keeps a ground-truth membership view
+// for verification and repair scheduling.
+package chord
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ID is a point on the 2^64 identifier circle.
+type ID uint64
+
+// idBits is the identifier width; the finger table has one entry per bit.
+const idBits = 64
+
+// HashKey maps an arbitrary key to the identifier circle using SHA-1, the
+// hash the ASA prototype uses for PIDs (§2.1), truncated to the ring width.
+func HashKey(key []byte) ID {
+	sum := sha1.Sum(key)
+	return ID(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// HashString maps a string key to the identifier circle.
+func HashString(key string) ID { return HashKey([]byte(key)) }
+
+// between reports whether x lies in the half-open ring interval (a, b].
+func between(a, x, b ID) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	if a > b {
+		return x > a || x <= b
+	}
+	// a == b: the interval spans the whole circle.
+	return true
+}
+
+// betweenOpen reports whether x lies in the open ring interval (a, b).
+func betweenOpen(a, x, b ID) bool {
+	if a < b {
+		return x > a && x < b
+	}
+	if a > b {
+		return x > a || x < b
+	}
+	return x != a
+}
+
+// Errors returned by ring operations.
+var (
+	// ErrEmptyRing reports an operation on a ring with no nodes.
+	ErrEmptyRing = errors.New("chord: empty ring")
+	// ErrDuplicateID reports a join that collides with an existing node.
+	ErrDuplicateID = errors.New("chord: duplicate node id")
+	// ErrLookupFailed reports a lookup that could not make progress, e.g.
+	// because routing tables are stale after heavy churn.
+	ErrLookupFailed = errors.New("chord: lookup failed")
+	// ErrNodeDown reports a routing step through a failed node.
+	ErrNodeDown = errors.New("chord: node down")
+)
+
+// Node is one overlay participant. Routing state (successors, predecessor,
+// fingers) is node-local and may be stale until stabilisation runs.
+type Node struct {
+	id    ID
+	name  string
+	alive bool
+
+	successors  []*Node // successor list, nearest first
+	predecessor *Node
+	fingers     [idBits]*Node
+
+	ring *Ring
+}
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() ID { return n.id }
+
+// Name returns the node's human-readable name.
+func (n *Node) Name() string { return n.name }
+
+// Alive reports whether the node is live.
+func (n *Node) Alive() bool { return n.alive }
+
+// Successor returns the node's first live successor-list entry, or the node
+// itself when the list is exhausted (single-node ring).
+func (n *Node) Successor() *Node {
+	for _, s := range n.successors {
+		if s != nil && s.alive {
+			return s
+		}
+	}
+	return n
+}
+
+// Predecessor returns the node's predecessor pointer, which may be nil or
+// stale until stabilisation.
+func (n *Node) Predecessor() *Node { return n.predecessor }
+
+// Ring is the simulated overlay: the ground-truth membership plus
+// configuration. Protocol state lives in the nodes.
+type Ring struct {
+	rng              *rand.Rand
+	nodes            []*Node // live nodes sorted by ID
+	successorListLen int
+	maxHops          int
+}
+
+// Option configures a Ring.
+type Option func(*Ring)
+
+// WithSuccessorListLen sets the per-node successor list length (default 4).
+func WithSuccessorListLen(n int) Option {
+	return func(r *Ring) {
+		if n > 0 {
+			r.successorListLen = n
+		}
+	}
+}
+
+// NewRing returns an empty ring seeded for deterministic simulation.
+func NewRing(seed int64, opts ...Option) *Ring {
+	r := &Ring{
+		rng:              rand.New(rand.NewSource(seed)),
+		successorListLen: 4,
+		maxHops:          256,
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Size returns the number of live nodes.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Nodes returns the live nodes sorted by ID.
+func (r *Ring) Nodes() []*Node {
+	return append([]*Node(nil), r.nodes...)
+}
+
+// RandomNode returns a uniformly random live node.
+func (r *Ring) RandomNode() (*Node, error) {
+	if len(r.nodes) == 0 {
+		return nil, ErrEmptyRing
+	}
+	return r.nodes[r.rng.Intn(len(r.nodes))], nil
+}
+
+// Join adds a node named name to the overlay, initialising its tables via
+// lookups through an arbitrary existing member, as in the Chord join
+// protocol. The new node's tables converge fully on the next Stabilize.
+func (r *Ring) Join(name string) (*Node, error) {
+	id := HashString(name)
+	for _, n := range r.nodes {
+		if n.id == id {
+			return nil, fmt.Errorf("%w: %s vs %s", ErrDuplicateID, name, n.name)
+		}
+	}
+	node := &Node{id: id, name: name, alive: true, ring: r}
+
+	if len(r.nodes) == 0 {
+		node.successors = []*Node{node}
+		node.predecessor = node
+		for i := range node.fingers {
+			node.fingers[i] = node
+		}
+	} else {
+		boot := r.nodes[r.rng.Intn(len(r.nodes))]
+		succ, _, err := boot.FindSuccessor(node.id)
+		if err != nil {
+			return nil, fmt.Errorf("chord: join via %s: %w", boot.name, err)
+		}
+		node.successors = []*Node{succ}
+		node.fingers[0] = succ
+	}
+
+	r.insert(node)
+	return node, nil
+}
+
+func (r *Ring) insert(node *Node) {
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id >= node.id })
+	r.nodes = append(r.nodes, nil)
+	copy(r.nodes[i+1:], r.nodes[i:])
+	r.nodes[i] = node
+}
+
+func (r *Ring) remove(node *Node) {
+	for i, n := range r.nodes {
+		if n == node {
+			r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+			return
+		}
+	}
+}
+
+// Leave removes a node gracefully: its predecessor and successor are
+// linked directly before it departs.
+func (r *Ring) Leave(node *Node) {
+	if !node.alive {
+		return
+	}
+	succ := r.ownerAfter(node)
+	pred := r.ownerBefore(node)
+	if succ != nil && pred != nil && succ != node {
+		pred.successors = append([]*Node{succ}, pred.successors...)
+		trimSuccessors(pred, r.successorListLen)
+		succ.predecessor = pred
+	}
+	node.alive = false
+	r.remove(node)
+}
+
+// Fail removes a node abruptly (fail-stop): no notifications are sent, and
+// other nodes discover the failure through their successor lists during
+// stabilisation.
+func (r *Ring) Fail(node *Node) {
+	if !node.alive {
+		return
+	}
+	node.alive = false
+	r.remove(node)
+}
+
+// ownerAfter returns the ground-truth successor of the node (nil on empty).
+func (r *Ring) ownerAfter(node *Node) *Node {
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id > node.id })
+	return r.nodes[i%len(r.nodes)]
+}
+
+// ownerBefore returns the ground-truth predecessor of the node.
+func (r *Ring) ownerBefore(node *Node) *Node {
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id >= node.id })
+	return r.nodes[(i-1+len(r.nodes))%len(r.nodes)]
+}
+
+// NodeFor returns the ground-truth owner of key: the first live node at or
+// after key on the circle. Used to verify routed lookups.
+func (r *Ring) NodeFor(key ID) (*Node, error) {
+	if len(r.nodes) == 0 {
+		return nil, ErrEmptyRing
+	}
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].id >= key })
+	return r.nodes[i%len(r.nodes)], nil
+}
+
+// FindSuccessor routes a lookup for key from this node using only local
+// routing state, returning the owning node and the number of routing hops
+// taken.
+func (n *Node) FindSuccessor(key ID) (*Node, int, error) {
+	if !n.alive {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNodeDown, n.name)
+	}
+	cur := n
+	hops := 0
+	for hops <= n.ring.maxHops {
+		succ := cur.Successor()
+		if succ == cur || between(cur.id, key, succ.id) {
+			return succ, hops, nil
+		}
+		next := cur.closestPrecedingNode(key)
+		if next == cur {
+			// Fingers exhausted: fall through to the successor.
+			next = succ
+		}
+		cur = next
+		hops++
+	}
+	return nil, hops, fmt.Errorf("%w: key %x from %s after %d hops", ErrLookupFailed, uint64(key), n.name, hops)
+}
+
+// closestPrecedingNode scans the finger table (then the successor list) for
+// the live node most closely preceding key.
+func (n *Node) closestPrecedingNode(key ID) *Node {
+	for i := idBits - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if f != nil && f.alive && betweenOpen(n.id, f.id, key) {
+			return f
+		}
+	}
+	for i := len(n.successors) - 1; i >= 0; i-- {
+		s := n.successors[i]
+		if s != nil && s.alive && betweenOpen(n.id, s.id, key) {
+			return s
+		}
+	}
+	return n
+}
+
+// Stabilize runs stabilisation rounds — the Chord stabilize/notify
+// exchange, successor-list repair and finger-table rebuild on every live
+// node — until the routing state reaches a fixpoint (bounded by a generous
+// round cap). Each round propagates membership changes one link further, so
+// iterating to quiescence converges the overlay after arbitrary churn.
+func (r *Ring) Stabilize() {
+	const maxRounds = 128
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, n := range r.Nodes() {
+			if n.stabilize() {
+				changed = true
+			}
+		}
+		for _, n := range r.Nodes() {
+			n.fixFingers()
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// stabilize performs one protocol round on the node and reports whether any
+// routing state changed.
+func (n *Node) stabilize() bool {
+	if !n.alive {
+		return false
+	}
+	oldSucc := n.Successor()
+	succ := oldSucc
+	// Adopt the successor's predecessor when it sits between us.
+	if x := succ.predecessor; x != nil && x.alive && betweenOpen(n.id, x.id, succ.id) {
+		succ = x
+	}
+	changed := succ != oldSucc
+	// Notify: the successor adopts us as predecessor when appropriate.
+	if succ != n {
+		if p := succ.predecessor; p == nil || !p.alive || betweenOpen(p.id, n.id, succ.id) {
+			if succ.predecessor != n {
+				succ.predecessor = n
+				changed = true
+			}
+		}
+	}
+	// Rebuild the successor list by walking successors' successors.
+	list := make([]*Node, 0, n.ring.successorListLen)
+	cur := succ
+	for len(list) < n.ring.successorListLen && cur != nil && cur.alive && cur != n {
+		list = append(list, cur)
+		cur = cur.Successor()
+	}
+	if len(list) == 0 {
+		list = []*Node{n}
+	}
+	if !sameNodes(n.successors, list) {
+		n.successors = list
+		changed = true
+	}
+	return changed
+}
+
+func sameNodes(a, b []*Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Node) fixFingers() {
+	if !n.alive {
+		return
+	}
+	for i := 0; i < idBits; i++ {
+		target := n.id + (ID(1) << uint(i))
+		owner, err := n.ring.NodeFor(target)
+		if err != nil {
+			return
+		}
+		n.fingers[i] = owner
+	}
+}
+
+// trimSuccessors drops dead entries and truncates to the configured length.
+func trimSuccessors(n *Node, maxLen int) {
+	out := n.successors[:0]
+	for _, s := range n.successors {
+		if s != nil && s.alive && s != n {
+			out = append(out, s)
+		}
+		if len(out) == maxLen {
+			break
+		}
+	}
+	n.successors = out
+}
+
+// Build constructs a stabilised ring of size n with deterministic node
+// names, a convenience for tests and experiments.
+func Build(seed int64, n int, opts ...Option) (*Ring, error) {
+	r := NewRing(seed, opts...)
+	for i := 0; i < n; i++ {
+		if _, err := r.Join(fmt.Sprintf("node-%d", i)); err != nil {
+			return nil, err
+		}
+		// Stabilise periodically during construction so join lookups
+		// route correctly.
+		if i%8 == 0 {
+			r.Stabilize()
+		}
+	}
+	r.Stabilize()
+	r.Stabilize()
+	return r, nil
+}

@@ -1,0 +1,320 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBetween(t *testing.T) {
+	tests := []struct {
+		a, x, b ID
+		want    bool
+	}{
+		{10, 15, 20, true},
+		{10, 10, 20, false}, // half-open: excludes a
+		{10, 20, 20, true},  // includes b
+		{10, 25, 20, false},
+		{20, 25, 10, true},  // wrapping interval
+		{20, 5, 10, true},   // wrapping interval
+		{20, 15, 10, false}, // wrapping interval, outside
+		{10, 99, 10, true},  // full circle
+	}
+	for _, tt := range tests {
+		if got := between(tt.a, tt.x, tt.b); got != tt.want {
+			t.Errorf("between(%d,%d,%d) = %v, want %v", tt.a, tt.x, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestBetweenOpen(t *testing.T) {
+	tests := []struct {
+		a, x, b ID
+		want    bool
+	}{
+		{10, 15, 20, true},
+		{10, 20, 20, false},
+		{10, 10, 20, false},
+		{20, 5, 10, true},
+		{5, 5, 5, false}, // degenerate: everything but a
+		{5, 9, 5, true},
+	}
+	for _, tt := range tests {
+		if got := betweenOpen(tt.a, tt.x, tt.b); got != tt.want {
+			t.Errorf("betweenOpen(%d,%d,%d) = %v, want %v", tt.a, tt.x, tt.b, got, tt.want)
+		}
+	}
+}
+
+// TestBetweenProperty: exactly one of the two half-open arcs (a,b] and
+// (b,a] contains any x distinct from both endpoints' shared cases.
+func TestBetweenProperty(t *testing.T) {
+	prop := func(a, x, b uint64) bool {
+		ia, ix, ib := ID(a), ID(x), ID(b)
+		if ia == ib {
+			return true // degenerate full-circle case covered elsewhere
+		}
+		return between(ia, ix, ib) != between(ib, ix, ia)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	r := NewRing(1)
+	n, err := r.Join("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Successor() != n {
+		t.Error("single node is not its own successor")
+	}
+	owner, hops, err := n.FindSuccessor(HashString("anything"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != n || hops != 0 {
+		t.Errorf("lookup = %v/%d, want self/0", owner.Name(), hops)
+	}
+}
+
+func TestJoinDuplicate(t *testing.T) {
+	r := NewRing(1)
+	if _, err := r.Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Join("a"); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate join error = %v", err)
+	}
+}
+
+func TestLookupCorrectness(t *testing.T) {
+	r, err := Build(42, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := HashString(fmt.Sprintf("key-%d", i))
+		want, err := r.NodeFor(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		from, err := r.RandomNode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := from.FindSuccessor(key)
+		if err != nil {
+			t.Fatalf("lookup key-%d from %s: %v", i, from.Name(), err)
+		}
+		if got != want {
+			t.Errorf("key-%d: routed to %s, owner is %s", i, got.Name(), want.Name())
+		}
+	}
+}
+
+func TestLookupLogarithmicHops(t *testing.T) {
+	sizes := []int{16, 64, 256}
+	var avgs []float64
+	for _, size := range sizes {
+		r, err := Build(7, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalHops := 0
+		const lookups = 300
+		for i := 0; i < lookups; i++ {
+			from, err := r.RandomNode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, hops, err := from.FindSuccessor(HashString(fmt.Sprintf("k%d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			totalHops += hops
+		}
+		avg := float64(totalHops) / lookups
+		avgs = append(avgs, avg)
+		// Chord routes in O(log n): allow a generous constant.
+		if bound := 2 * math.Log2(float64(size)); avg > bound {
+			t.Errorf("size %d: avg hops %.2f exceeds 2·log2(n) = %.2f", size, avg, bound)
+		}
+	}
+	// Hop count grows with ring size but far slower than linearly.
+	if avgs[2] > avgs[0]*8 {
+		t.Errorf("hop growth from 16 to 256 nodes is superlogarithmic: %v", avgs)
+	}
+}
+
+func TestGracefulLeave(t *testing.T) {
+	r, err := Build(3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := r.Nodes()
+	leaver := nodes[10]
+	r.Leave(leaver)
+	r.Stabilize()
+	if r.Size() != 31 {
+		t.Fatalf("Size = %d, want 31", r.Size())
+	}
+	// Keys previously owned by the leaver now route to its successor.
+	key := leaver.ID() - 1 // a key just before the departed node
+	owner, err := r.NodeFor(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, err := r.RandomNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := from.FindSuccessor(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != owner {
+		t.Errorf("after leave: routed to %s, want %s", got.Name(), owner.Name())
+	}
+	if got == leaver {
+		t.Error("lookup routed to departed node")
+	}
+}
+
+func TestFailStopRepair(t *testing.T) {
+	r, err := Build(9, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail several nodes abruptly.
+	nodes := r.Nodes()
+	for _, i := range []int{5, 17, 23, 31} {
+		r.Fail(nodes[i])
+	}
+	// Before stabilisation lookups may detour; after repair they must hit
+	// the ground-truth owner.
+	r.Stabilize()
+	r.Stabilize()
+	for i := 0; i < 100; i++ {
+		key := HashString(fmt.Sprintf("post-fail-%d", i))
+		want, err := r.NodeFor(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		from, err := r.RandomNode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := from.FindSuccessor(key)
+		if err != nil {
+			t.Fatalf("lookup after failures: %v", err)
+		}
+		if got != want {
+			t.Errorf("key %d: routed to %s, want %s", i, got.Name(), want.Name())
+		}
+		if !got.Alive() {
+			t.Errorf("key %d routed to dead node %s", i, got.Name())
+		}
+	}
+}
+
+func TestChurn(t *testing.T) {
+	r, err := Build(11, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave joins, leaves and failures with stabilisation.
+	for round := 0; round < 10; round++ {
+		if _, err := r.Join(fmt.Sprintf("churn-%d", round)); err != nil {
+			t.Fatal(err)
+		}
+		nodes := r.Nodes()
+		if round%2 == 0 {
+			r.Fail(nodes[round%len(nodes)])
+		} else {
+			r.Leave(nodes[round%len(nodes)])
+		}
+		r.Stabilize()
+	}
+	r.Stabilize()
+	// The ring must still route every key to its ground-truth owner.
+	for i := 0; i < 100; i++ {
+		key := HashString(fmt.Sprintf("churn-key-%d", i))
+		want, err := r.NodeFor(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		from, err := r.RandomNode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := from.FindSuccessor(key)
+		if err != nil {
+			t.Fatalf("lookup under churn: %v", err)
+		}
+		if got != want {
+			t.Errorf("churn key %d: routed to %s, want %s", i, got.Name(), want.Name())
+		}
+	}
+}
+
+func TestRingInvariants(t *testing.T) {
+	r, err := Build(21, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := r.Nodes()
+	// Sorted, unique IDs.
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].ID() >= nodes[i].ID() {
+			t.Fatalf("nodes not strictly sorted at %d", i)
+		}
+	}
+	// After stabilisation every node's successor is the next live node.
+	for i, n := range nodes {
+		want := nodes[(i+1)%len(nodes)]
+		if got := n.Successor(); got != want {
+			t.Errorf("node %s successor = %s, want %s", n.Name(), got.Name(), want.Name())
+		}
+		if n.Predecessor() == nil {
+			t.Errorf("node %s has nil predecessor", n.Name())
+		}
+	}
+}
+
+func TestEmptyRingErrors(t *testing.T) {
+	r := NewRing(1)
+	if _, err := r.NodeFor(42); !errors.Is(err, ErrEmptyRing) {
+		t.Errorf("NodeFor on empty ring = %v", err)
+	}
+	if _, err := r.RandomNode(); !errors.Is(err, ErrEmptyRing) {
+		t.Errorf("RandomNode on empty ring = %v", err)
+	}
+}
+
+func TestHashKeyDeterministic(t *testing.T) {
+	if HashString("abc") != HashString("abc") {
+		t.Error("hash not deterministic")
+	}
+	if HashString("abc") == HashString("abd") {
+		t.Error("suspicious hash collision on near-identical keys")
+	}
+	if HashKey([]byte("xyz")) != HashString("xyz") {
+		t.Error("HashKey and HashString disagree")
+	}
+}
+
+func TestFindSuccessorFromDeadNode(t *testing.T) {
+	r, err := Build(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := r.Nodes()[0]
+	r.Fail(n)
+	if _, _, err := n.FindSuccessor(1); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("lookup from dead node = %v", err)
+	}
+}

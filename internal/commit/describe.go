@@ -1,0 +1,75 @@
+package commit
+
+import (
+	"fmt"
+
+	"asagen/internal/core"
+)
+
+// DescribeState implements core.Model: it produces the Fig. 14 style
+// commentary describing a state in terms of the generic algorithm, derived
+// entirely from the state's component values and the model's thresholds.
+func (m *Model) DescribeState(v core.Vector) []string {
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+
+	votes := v[idxVotesReceived]
+	commits := v[idxCommitsReceived]
+	totalVotes := votes + v[idxVoteSent]
+
+	if v[idxUpdateReceived] != 0 {
+		add("Have received initial update from client.")
+	} else {
+		add("Have not yet received initial update from client.")
+	}
+
+	if v[idxVoteSent] != 0 {
+		add("Have voted for this update.")
+	} else if v[idxCouldChoose] == 0 {
+		add("Have not voted since another update has already been voted for.")
+	} else {
+		add("Have not yet voted for this update.")
+	}
+
+	add("Have received %s and %s.", plural(votes, "vote"), plural(commits, "commit"))
+
+	if v[idxCommitSent] != 0 {
+		add("Have sent a commit.")
+	} else {
+		add("Have not sent a commit since neither the vote threshold (%d) nor the external commit threshold (%d) has been reached.",
+			m.VoteThreshold(), m.CommitThreshold())
+	}
+
+	if v[idxCouldChoose] != 0 {
+		add("May choose a future update.")
+	} else {
+		add("May not choose since another ongoing update has been voted for.")
+	}
+
+	if v[idxHasChosen] != 0 {
+		add("Have chosen this update.")
+	} else {
+		add("Have not chosen this update since another ongoing update has been chosen.")
+	}
+
+	if remaining := m.VoteThreshold() - totalVotes; remaining > 0 {
+		add("Waiting for %s (including local vote if any) before sending commit.",
+			plural(remaining, "further vote"))
+	}
+	if remaining := m.CommitThreshold() - commits; remaining > 0 {
+		add("Waiting for %s to finish.", plural(remaining, "further external commit"))
+	}
+	return lines
+}
+
+func plural(n int, noun string) string {
+	if n == 1 {
+		return fmt.Sprintf("1 %s", noun)
+	}
+	if n == 0 {
+		return fmt.Sprintf("no %ss", noun)
+	}
+	return fmt.Sprintf("%d %ss", n, noun)
+}

@@ -1,0 +1,222 @@
+package commit
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"asagen/internal/core"
+	"asagen/internal/runtime"
+)
+
+// TestGenericVsGeneratedMachine drives the hand-written generic algorithm
+// and the interpreted generated machine with identical random message
+// sequences and requires identical observable behaviour at every step:
+// same emitted actions, same finished flag, and — because the strict
+// reading rests only in canonical states — the same encoded state.
+func TestGenericVsGeneratedMachine(t *testing.T) {
+	for _, r := range []int{4, 7, 13} {
+		machine := mustGenerate(t, r, core.WithoutDescriptions())
+		for seed := int64(1); seed <= 25; seed++ {
+			runDifferential(t, machine, r, seed, 400)
+		}
+	}
+}
+
+func runDifferential(t *testing.T, machine *core.StateMachine, r int, seed int64, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	var genericActions []string
+	gen, err := NewGeneric(r, func(a string) { genericActions = append(genericActions, a) })
+	if err != nil {
+		t.Fatalf("NewGeneric(%d): %v", r, err)
+	}
+	inst, err := runtime.New(machine, nil)
+	if err != nil {
+		t.Fatalf("runtime.New: %v", err)
+	}
+
+	messages := machine.Messages
+	for step := 0; step < steps; step++ {
+		msg := messages[rng.Intn(len(messages))]
+
+		genericActions = genericActions[:0]
+		gen.Receive(msg)
+
+		var fsmActions []string
+		if !inst.Finished() {
+			acts, err := inst.Deliver(msg)
+			var ignored *runtime.IgnoredError
+			switch {
+			case err == nil:
+				fsmActions = acts
+			case errors.As(err, &ignored):
+				// No transition: the model treats the message as
+				// effect-free here; the generic algorithm must agree.
+			default:
+				t.Fatalf("r=%d seed=%d step=%d %s: Deliver: %v", r, seed, step, msg, err)
+			}
+		}
+
+		if !equalStrings(genericActions, fsmActions) {
+			t.Fatalf("r=%d seed=%d step=%d %s: actions diverge: generic=%v fsm=%v (state %s)",
+				r, seed, step, msg, genericActions, fsmActions, inst.StateName())
+		}
+		if gen.Finished() != inst.Finished() {
+			t.Fatalf("r=%d seed=%d step=%d %s: finished diverges: generic=%v fsm=%v",
+				r, seed, step, msg, gen.Finished(), inst.Finished())
+		}
+		if got, want := inst.StateName(), gen.Snapshot(); got != want {
+			t.Fatalf("r=%d seed=%d step=%d %s: state diverges: fsm=%s generic=%s",
+				r, seed, step, msg, got, want)
+		}
+		if gen.Finished() {
+			return
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGenericHappyPath walks one uncontended commit round: the member
+// receives the update while free, votes, collects the quorum and finishes.
+func TestGenericHappyPath(t *testing.T) {
+	var actions []string
+	g, err := NewGeneric(4, func(a string) { actions = append(actions, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Not free initially; a free message from a completed instance opens
+	// the slot, but no update has arrived yet.
+	g.ReceiveFree()
+	if g.Snapshot() != "F/0/F/0/F/T/F" {
+		t.Fatalf("after free: %s", g.Snapshot())
+	}
+
+	g.ReceiveUpdate()
+	if !equalStrings(actions, []string{ActSendVote, ActSendNotFree}) {
+		t.Fatalf("update actions = %v", actions)
+	}
+	if g.Snapshot() != "T/0/T/0/F/F/T" {
+		t.Fatalf("after update: %s", g.Snapshot())
+	}
+
+	actions = actions[:0]
+	g.ReceiveVote() // total 2 < 3
+	if len(actions) != 0 {
+		t.Fatalf("vote below threshold emitted %v", actions)
+	}
+	g.ReceiveVote() // total 3: quorum, send commit
+	if !equalStrings(actions, []string{ActSendCommit}) {
+		t.Fatalf("quorum actions = %v", actions)
+	}
+
+	actions = actions[:0]
+	g.ReceiveCommit()
+	if g.Finished() {
+		t.Fatal("finished after 1 commit, want threshold 2")
+	}
+	g.ReceiveCommit()
+	if !g.Finished() {
+		t.Fatal("not finished after f+1 commits")
+	}
+	if !equalStrings(actions, []string{ActSendFree}) {
+		t.Fatalf("finish actions = %v", actions)
+	}
+}
+
+// TestGenericForcedVote exercises the competing-update path: the member
+// never receives the client update but is forced to vote when the quorum
+// forms among the other members.
+func TestGenericForcedVote(t *testing.T) {
+	var actions []string
+	g, err := NewGeneric(4, func(a string) { actions = append(actions, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Another instance holds the slot.
+	g.ReceiveNotFree()
+	g.ReceiveVote()
+	g.ReceiveVote()
+	if len(actions) != 0 {
+		t.Fatalf("below threshold emitted %v", actions)
+	}
+	g.ReceiveVote() // third vote: forced to join the quorum
+	if !equalStrings(actions, []string{ActSendVote, ActSendCommit}) {
+		t.Fatalf("forced vote actions = %v", actions)
+	}
+	if g.Snapshot() != "F/3/T/0/T/F/F" {
+		t.Fatalf("after forced vote: %s", g.Snapshot())
+	}
+
+	actions = actions[:0]
+	g.ReceiveCommit()
+	g.ReceiveCommit()
+	if !g.Finished() {
+		t.Fatal("not finished")
+	}
+	// has_chosen is false, so no free message is sent.
+	if len(actions) != 0 {
+		t.Fatalf("finish actions = %v, want none", actions)
+	}
+}
+
+// TestGenericAdoptsQuorumUpdate checks that a free member adopts an update
+// that reaches quorum without having received the client request: it marks
+// the update chosen and withdraws its availability.
+func TestGenericAdoptsQuorumUpdate(t *testing.T) {
+	var actions []string
+	g, err := NewGeneric(4, func(a string) { actions = append(actions, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ReceiveFree()
+	g.ReceiveVote()
+	g.ReceiveVote()
+	actions = actions[:0]
+	g.ReceiveVote()
+	if !equalStrings(actions, []string{ActSendNotFree, ActSendVote, ActSendCommit}) {
+		t.Fatalf("adoption actions = %v", actions)
+	}
+	if g.Snapshot() != "F/3/T/0/T/F/T" {
+		t.Fatalf("after adoption: %s", g.Snapshot())
+	}
+}
+
+// TestGenericIdempotentAfterFinish verifies that a finished instance
+// ignores all further traffic.
+func TestGenericIdempotentAfterFinish(t *testing.T) {
+	var actions []string
+	g, err := NewGeneric(4, func(a string) { actions = append(actions, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ReceiveCommit()
+	g.ReceiveCommit()
+	if !g.Finished() {
+		t.Fatal("not finished after f+1 commits")
+	}
+	actions = actions[:0]
+	for _, msg := range []string{MsgUpdate, MsgVote, MsgCommit, MsgFree, MsgNotFree} {
+		g.Receive(msg)
+	}
+	if len(actions) != 0 {
+		t.Fatalf("finished instance emitted %v", actions)
+	}
+	if g.Snapshot() != "FINISHED" {
+		t.Fatalf("Snapshot = %s", g.Snapshot())
+	}
+}

@@ -1,0 +1,201 @@
+package commit
+
+// This file implements the generic (non-FSM) commit algorithm: the paper's
+// "one state, many variables" end of the state-machine spectrum (§3.2). It
+// is written directly from the protocol description — plain variables and
+// dynamic control decisions — and is deliberately independent of the
+// abstract model's Apply implementation, so that the differential tests
+// comparing it with the generated machines exercise two separate encodings
+// of the protocol.
+
+// GenericActionFunc receives the protocol messages the algorithm sends
+// ("->vote", "->commit", "->free", "->not free"), in order.
+type GenericActionFunc func(action string)
+
+// Generic is the hand-written commit algorithm for one ongoing update at
+// one peer-set member, maintaining the seven variables of §3.1 explicitly.
+type Generic struct {
+	r int
+	f int
+
+	updateReceived  bool
+	votesReceived   int
+	voteSent        bool
+	commitsReceived int
+	commitSent      bool
+	couldChoose     bool
+	hasChosen       bool
+	finished        bool
+
+	act GenericActionFunc
+}
+
+// NewGeneric returns the generic algorithm for replication factor r. A nil
+// action function discards outgoing messages.
+func NewGeneric(r int, act GenericActionFunc) (*Generic, error) {
+	// Parameter validation matches the abstract model's.
+	if _, err := NewModel(r); err != nil {
+		return nil, err
+	}
+	if act == nil {
+		act = func(string) {}
+	}
+	return &Generic{r: r, f: (r - 1) / 3, act: act}, nil
+}
+
+// Finished reports whether the commit instance has completed.
+func (g *Generic) Finished() bool { return g.finished }
+
+// Snapshot returns the current variable values in the state-name encoding
+// used by the generated machines ("T/2/F/0/F/F/F"), for differential
+// comparison. A finished instance reports the finish-state name.
+func (g *Generic) Snapshot() string {
+	if g.finished {
+		return "FINISHED"
+	}
+	b := func(v bool) string {
+		if v {
+			return "T"
+		}
+		return "F"
+	}
+	return b(g.updateReceived) + "/" + itoa(g.votesReceived) + "/" + b(g.voteSent) + "/" +
+		itoa(g.commitsReceived) + "/" + b(g.commitSent) + "/" + b(g.couldChoose) + "/" + b(g.hasChosen)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func (g *Generic) voteThreshold() int   { return 2*g.f + 1 }
+func (g *Generic) commitThreshold() int { return g.f + 1 }
+
+func (g *Generic) totalVotes() int {
+	total := g.votesReceived
+	if g.voteSent {
+		total++
+	}
+	return total
+}
+
+// castVote votes for this update: broadcast the vote, send the commit if
+// the quorum is already visible, mark the update chosen and broadcast
+// not_free.
+func (g *Generic) castVote() {
+	g.act(ActSendVote)
+	g.voteSent = true
+	g.couldChoose = false
+	if g.totalVotes() >= g.voteThreshold() && !g.commitSent {
+		g.act(ActSendCommit)
+		g.commitSent = true
+	}
+	g.hasChosen = true
+	g.act(ActSendNotFree)
+}
+
+// ReceiveUpdate handles the client's update request.
+func (g *Generic) ReceiveUpdate() {
+	if g.finished || g.updateReceived {
+		return
+	}
+	g.updateReceived = true
+	if g.couldChoose && !g.hasChosen && !g.voteSent {
+		g.castVote()
+	}
+}
+
+// ReceiveVote handles a vote message from another member.
+func (g *Generic) ReceiveVote() {
+	if g.finished || g.votesReceived == g.r-1 {
+		return
+	}
+	g.votesReceived++
+	if g.totalVotes() < g.voteThreshold() {
+		return
+	}
+	if !g.voteSent {
+		if g.couldChoose {
+			g.hasChosen = true
+			g.act(ActSendNotFree)
+		}
+		g.act(ActSendVote)
+		g.voteSent = true
+		g.couldChoose = false
+	}
+	if !g.commitSent {
+		g.act(ActSendCommit)
+		g.commitSent = true
+	}
+}
+
+// ReceiveCommit handles a commit message from another member; the f+1-th
+// commit completes the instance.
+func (g *Generic) ReceiveCommit() {
+	if g.finished || g.commitsReceived == g.r-1 {
+		return
+	}
+	g.commitsReceived++
+	if g.commitsReceived < g.commitThreshold() {
+		return
+	}
+	if !g.voteSent {
+		g.act(ActSendVote)
+		g.voteSent = true
+	}
+	if !g.commitSent {
+		g.act(ActSendCommit)
+		g.commitSent = true
+	}
+	if g.hasChosen {
+		g.act(ActSendFree)
+	}
+	g.finished = true
+}
+
+// ReceiveFree handles a free message from another machine instance on the
+// same member.
+func (g *Generic) ReceiveFree() {
+	if g.finished || g.hasChosen || g.voteSent {
+		return
+	}
+	g.couldChoose = true
+	if g.updateReceived {
+		g.castVote()
+	}
+}
+
+// ReceiveNotFree handles a not_free message from another machine instance
+// on the same member.
+func (g *Generic) ReceiveNotFree() {
+	if g.finished || g.hasChosen || g.voteSent {
+		return
+	}
+	g.couldChoose = false
+}
+
+// Receive dispatches a message by type name, mirroring the generated
+// machines' message vocabulary. Unknown messages are ignored.
+func (g *Generic) Receive(msg string) {
+	switch msg {
+	case MsgUpdate:
+		g.ReceiveUpdate()
+	case MsgVote:
+		g.ReceiveVote()
+	case MsgCommit:
+		g.ReceiveCommit()
+	case MsgFree:
+		g.ReceiveFree()
+	case MsgNotFree:
+		g.ReceiveNotFree()
+	}
+}

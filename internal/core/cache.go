@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements the generation policies of §4.2: generation may be
+// performed once during development (the fsmgen artefact path), every time
+// the algorithm is needed, or whenever a new parameter value is
+// encountered. For the last policy the paper suggests caching generated
+// implementations so regeneration is amortised; Cache provides that,
+// safely under concurrent use.
+
+// ModelFactory constructs the abstract model for a parameter value, e.g.
+// the commit model for a replication factor.
+type ModelFactory func(parameter int) (Model, error)
+
+// Cache generates machines on demand and memoises them per parameter
+// value, so that dynamic changes to the parameter (a new replication
+// factor, §4.2) pay the generation cost once.
+type Cache struct {
+	factory ModelFactory
+	opts    []Option
+
+	mu       sync.Mutex
+	machines map[int]*cacheEntry
+}
+
+// cacheEntry memoises one generation, sharing the work among concurrent
+// first requests for the same parameter.
+type cacheEntry struct {
+	once    sync.Once
+	machine *StateMachine
+	err     error
+}
+
+// NewCache returns a cache that builds models with the factory and
+// generates them with the given options.
+func NewCache(factory ModelFactory, opts ...Option) (*Cache, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("core: cache: nil model factory")
+	}
+	return &Cache{
+		factory:  factory,
+		opts:     append([]Option(nil), opts...),
+		machines: make(map[int]*cacheEntry),
+	}, nil
+}
+
+// Machine returns the generated machine for the parameter, generating it
+// on first use. Errors are memoised too: a parameter the factory rejects
+// keeps being rejected without repeated work.
+func (c *Cache) Machine(parameter int) (*StateMachine, error) {
+	c.mu.Lock()
+	entry, ok := c.machines[parameter]
+	if !ok {
+		entry = &cacheEntry{}
+		c.machines[parameter] = entry
+	}
+	c.mu.Unlock()
+
+	entry.once.Do(func() {
+		model, err := c.factory(parameter)
+		if err != nil {
+			entry.err = err
+			return
+		}
+		entry.machine, entry.err = Generate(model, c.opts...)
+	})
+	return entry.machine, entry.err
+}
+
+// Len returns the number of memoised parameters (including memoised
+// failures).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.machines)
+}
+
+// Invalidate drops the memoised machine for a parameter, forcing
+// regeneration on next use (e.g. after a model change).
+func (c *Cache) Invalidate(parameter int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.machines, parameter)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countingFactory counts model constructions to observe memoisation.
+type countingFactory struct {
+	calls atomic.Int64
+}
+
+func (f *countingFactory) make(parameter int) (Model, error) {
+	f.calls.Add(1)
+	if parameter < 1 {
+		return nil, errors.New("bad parameter")
+	}
+	return &toyModel{max: parameter}, nil
+}
+
+func TestCacheMemoises(t *testing.T) {
+	f := &countingFactory{}
+	cache, err := NewCache(f.make, WithoutDescriptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := cache.Machine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := cache.Machine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("second request regenerated the machine")
+	}
+	if got := f.calls.Load(); got != 1 {
+		t.Errorf("factory called %d times, want 1", got)
+	}
+	if _, err := cache.Machine(5); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("Len = %d, want 2", cache.Len())
+	}
+}
+
+func TestCacheMemoisesErrors(t *testing.T) {
+	f := &countingFactory{}
+	cache, err := NewCache(f.make)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Machine(-1); err == nil {
+		t.Fatal("bad parameter accepted")
+	}
+	if _, err := cache.Machine(-1); err == nil {
+		t.Fatal("bad parameter accepted on second call")
+	}
+	if got := f.calls.Load(); got != 1 {
+		t.Errorf("factory called %d times for failing parameter, want 1", got)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	f := &countingFactory{}
+	cache, err := NewCache(f.make)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Machine(3); err != nil {
+		t.Fatal(err)
+	}
+	cache.Invalidate(3)
+	if _, err := cache.Machine(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.calls.Load(); got != 2 {
+		t.Errorf("factory called %d times after invalidation, want 2", got)
+	}
+}
+
+func TestCacheConcurrentFirstUse(t *testing.T) {
+	f := &countingFactory{}
+	cache, err := NewCache(f.make)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	machines := make([]*StateMachine, goroutines)
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			machines[i], errs[i] = cache.Machine(4)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if machines[i] != machines[0] {
+			t.Fatal("concurrent first use produced different machines")
+		}
+	}
+	if got := f.calls.Load(); got != 1 {
+		t.Errorf("factory called %d times under concurrency, want 1", got)
+	}
+}
+
+func TestNewCacheValidation(t *testing.T) {
+	if _, err := NewCache(nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+}

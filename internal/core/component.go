@@ -1,0 +1,95 @@
+// Package core implements the generic abstract-model framework of the
+// generative state-machine methodology: an abstract model describes the
+// components of a parameterised state space and the transition logic of an
+// algorithm; executing the model generates a concrete finite state machine
+// (one member of a family), which is then pruned of unreachable states and
+// simplified by merging behaviourally equivalent states.
+//
+// The pipeline mirrors §3.4 of the paper:
+//
+//  1. enumerate all possible states from the state components
+//  2. generate the transitions resulting from every message in every state
+//  3. prune states unreachable from the start state
+//  4. combine equivalent states
+//
+// Problem-specific abstract models (e.g. the BFT commit protocol in package
+// commit) implement the Model interface and are initialised with a slice of
+// StateComponent values, exactly as the paper's generic AbstractModel is
+// configured in its Fig. 20.
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// StateComponent describes one dimension of the abstract state space. A
+// state is an assignment of one legal value to every component; the raw
+// state space is the cross product of all component domains.
+type StateComponent interface {
+	// Name returns the component's identifier, e.g. "votes_received".
+	Name() string
+	// Cardinality returns the number of legal values. Values are the
+	// integers [0, Cardinality()).
+	Cardinality() int
+	// ValueName renders value v for use in state names, e.g. "T" or "3".
+	ValueName(v int) string
+}
+
+// BoolComponent is a boolean state component with values 0 (false, rendered
+// "F") and 1 (true, rendered "T").
+type BoolComponent struct {
+	name string
+}
+
+var _ StateComponent = BoolComponent{}
+
+// NewBoolComponent returns a boolean component with the given name.
+func NewBoolComponent(name string) BoolComponent {
+	return BoolComponent{name: name}
+}
+
+// Name implements StateComponent.
+func (c BoolComponent) Name() string { return c.name }
+
+// Cardinality implements StateComponent; booleans have two values.
+func (c BoolComponent) Cardinality() int { return 2 }
+
+// ValueName implements StateComponent.
+func (c BoolComponent) ValueName(v int) string {
+	if v != 0 {
+		return "T"
+	}
+	return "F"
+}
+
+// IntComponent is an integer state component ranging over [0, Max].
+type IntComponent struct {
+	name string
+	max  int
+}
+
+var _ StateComponent = IntComponent{}
+
+// NewIntComponent returns an integer component with values 0..max
+// inclusive. It panics if max is negative, which indicates a programming
+// error in the abstract model (component domains are fixed at model
+// construction, before any generation runs).
+func NewIntComponent(name string, max int) IntComponent {
+	if max < 0 {
+		panic(fmt.Sprintf("core: IntComponent %q: negative max %d", name, max))
+	}
+	return IntComponent{name: name, max: max}
+}
+
+// Name implements StateComponent.
+func (c IntComponent) Name() string { return c.name }
+
+// Max returns the largest legal value.
+func (c IntComponent) Max() int { return c.max }
+
+// Cardinality implements StateComponent.
+func (c IntComponent) Cardinality() int { return c.max + 1 }
+
+// ValueName implements StateComponent.
+func (c IntComponent) ValueName(v int) string { return strconv.Itoa(v) }

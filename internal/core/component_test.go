@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBoolComponent(t *testing.T) {
+	c := NewBoolComponent("vote_sent")
+	if got := c.Name(); got != "vote_sent" {
+		t.Errorf("Name() = %q, want %q", got, "vote_sent")
+	}
+	if got := c.Cardinality(); got != 2 {
+		t.Errorf("Cardinality() = %d, want 2", got)
+	}
+	if got := c.ValueName(0); got != "F" {
+		t.Errorf("ValueName(0) = %q, want F", got)
+	}
+	if got := c.ValueName(1); got != "T" {
+		t.Errorf("ValueName(1) = %q, want T", got)
+	}
+}
+
+func TestIntComponent(t *testing.T) {
+	c := NewIntComponent("votes_received", 3)
+	if got := c.Name(); got != "votes_received" {
+		t.Errorf("Name() = %q, want %q", got, "votes_received")
+	}
+	if got := c.Cardinality(); got != 4 {
+		t.Errorf("Cardinality() = %d, want 4", got)
+	}
+	if got := c.Max(); got != 3 {
+		t.Errorf("Max() = %d, want 3", got)
+	}
+	for v, want := range []string{"0", "1", "2", "3"} {
+		if got := c.ValueName(v); got != want {
+			t.Errorf("ValueName(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestIntComponentNegativeMaxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewIntComponent with negative max did not panic")
+		}
+	}()
+	NewIntComponent("bad", -1)
+}
+
+func TestVectorName(t *testing.T) {
+	comps := []StateComponent{
+		NewBoolComponent("u"),
+		NewIntComponent("v", 3),
+		NewBoolComponent("w"),
+	}
+	tests := []struct {
+		v    Vector
+		want string
+	}{
+		{Vector{0, 0, 0}, "F/0/F"},
+		{Vector{1, 2, 0}, "T/2/F"},
+		{Vector{1, 3, 1}, "T/3/T"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.Name(comps); got != tt.want {
+			t.Errorf("Name(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := v.Clone()
+	w[0] = 9
+	if v[0] != 1 {
+		t.Error("Clone shares backing storage with original")
+	}
+	if !v.Equal(Vector{1, 2, 3}) {
+		t.Error("original mutated")
+	}
+}
+
+func TestVectorEqual(t *testing.T) {
+	tests := []struct {
+		a, b Vector
+		want bool
+	}{
+		{Vector{1, 2}, Vector{1, 2}, true},
+		{Vector{1, 2}, Vector{2, 1}, false},
+		{Vector{1}, Vector{1, 0}, false},
+		{nil, nil, true},
+		{Vector{}, nil, true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Equal(tt.b); got != tt.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// TestVectorIndexRoundTrip is a property test: converting any index in the
+// state space to a vector and back is the identity, and the vector is a
+// valid assignment.
+func TestVectorIndexRoundTrip(t *testing.T) {
+	comps := []StateComponent{
+		NewBoolComponent("a"),
+		NewIntComponent("b", 6),
+		NewBoolComponent("c"),
+		NewIntComponent("d", 2),
+	}
+	size := stateSpaceSize(comps)
+	if size != 2*7*2*3 {
+		t.Fatalf("stateSpaceSize = %d, want %d", size, 2*7*2*3)
+	}
+	prop := func(raw uint32) bool {
+		idx := int(raw) % size
+		v := vectorFromIndex(idx, comps)
+		if err := v.validate(comps); err != nil {
+			return false
+		}
+		return v.index(comps) == idx
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVectorIndexBijective checks that distinct indices decode to distinct
+// vectors over the whole space.
+func TestVectorIndexBijective(t *testing.T) {
+	comps := []StateComponent{
+		NewIntComponent("a", 3),
+		NewBoolComponent("b"),
+		NewIntComponent("c", 4),
+	}
+	size := stateSpaceSize(comps)
+	seen := make(map[string]bool, size)
+	for idx := 0; idx < size; idx++ {
+		name := vectorFromIndex(idx, comps).Name(comps)
+		if seen[name] {
+			t.Fatalf("duplicate vector %q at index %d", name, idx)
+		}
+		seen[name] = true
+	}
+	if len(seen) != size {
+		t.Errorf("decoded %d distinct vectors, want %d", len(seen), size)
+	}
+}
+
+func TestVectorValidate(t *testing.T) {
+	comps := []StateComponent{NewBoolComponent("a"), NewIntComponent("b", 2)}
+	tests := []struct {
+		name    string
+		v       Vector
+		wantErr bool
+	}{
+		{"ok", Vector{1, 2}, false},
+		{"zero", Vector{0, 0}, false},
+		{"arity", Vector{1}, true},
+		{"range high", Vector{1, 3}, true},
+		{"range negative", Vector{-1, 0}, true},
+		{"bool out of range", Vector{2, 0}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.v.validate(comps)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("validate(%v) error = %v, wantErr %v", tt.v, err, tt.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// counterModel is a toy family: count to max, beep at the threshold t,
+// finish past max. One boolean "armed" gates counting.
+type counterModel struct {
+	max int
+}
+
+func (m counterModel) Name() string   { return "counter" }
+func (m counterModel) Parameter() int { return m.max }
+func (m counterModel) Components() []StateComponent {
+	return []StateComponent{
+		NewBoolComponent("armed"),
+		NewIntComponent("count", m.max),
+	}
+}
+func (m counterModel) Messages() []string { return []string{"arm", "tick"} }
+func (m counterModel) Start() Vector      { return Vector{0, 0} }
+func (m counterModel) Apply(v Vector, msg string) (Effect, bool) {
+	switch msg {
+	case "arm":
+		if v[0] == 1 {
+			return Effect{}, false
+		}
+		return Effect{Target: Vector{1, v[1]}}, true
+	case "tick":
+		if v[0] == 0 {
+			return Effect{}, false
+		}
+		if v[1] == m.max {
+			return Effect{Finished: true, Actions: []string{"->done"}}, true
+		}
+		eff := Effect{Target: Vector{1, v[1] + 1}}
+		if v[1]+1 == m.max {
+			eff.Actions = []string{"->beep"}
+		}
+		return eff, true
+	default:
+		return Effect{}, false
+	}
+}
+func (m counterModel) DescribeState(Vector) []string { return nil }
+
+// counterAbstraction coalesces the count into an EFSM variable.
+type counterAbstraction struct {
+	model counterModel
+}
+
+func (a counterAbstraction) StateLabel(v Vector) string {
+	if v[0] == 1 {
+		return "ARMED"
+	}
+	return "DISARMED"
+}
+func (a counterAbstraction) GuardComponent(msg string) int {
+	if msg == "tick" {
+		return 1
+	}
+	return -1
+}
+func (a counterAbstraction) VarOps(msg string) []VarOp {
+	if msg == "tick" {
+		return []VarOp{{Variable: "count", Delta: 1}}
+	}
+	return nil
+}
+func (a counterAbstraction) Symbol(component, value int) string {
+	switch value {
+	case 0:
+		return "0"
+	case a.model.max:
+		return "max"
+	case a.model.max - 1:
+		return "max-1"
+	case a.model.max - 2:
+		return "max-2"
+	}
+	return ""
+}
+
+func buildCounterEFSM(t *testing.T, max int) *EFSM {
+	t.Helper()
+	model := counterModel{max: max}
+	machine, err := Generate(model)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	efsm, err := GeneralizeEFSM(machine, counterAbstraction{model: model})
+	if err != nil {
+		t.Fatalf("GeneralizeEFSM: %v", err)
+	}
+	return efsm
+}
+
+func TestGeneralizeCounterEFSM(t *testing.T) {
+	efsm := buildCounterEFSM(t, 5)
+	if len(efsm.States) != 3 { // DISARMED, ARMED, FINISHED
+		t.Fatalf("states = %v", efsm.StateNames())
+	}
+	if efsm.Start == nil || efsm.Start.Name != "DISARMED" {
+		t.Errorf("start = %v", efsm.Start)
+	}
+	if efsm.Finish == nil || !efsm.Finish.Final {
+		t.Error("missing finish state")
+	}
+	if len(efsm.Variables) != 1 || efsm.Variables[0] != "count" {
+		t.Errorf("variables = %v", efsm.Variables)
+	}
+	if efsm.TransitionCount() == 0 {
+		t.Error("no transitions")
+	}
+}
+
+func TestEFSMStructureIndependentOfMax(t *testing.T) {
+	structure := func(e *EFSM) string {
+		var b strings.Builder
+		for _, s := range e.States {
+			b.WriteString(s.Name + ":")
+			for _, tr := range s.Transitions {
+				b.WriteString(" " + tr.Message + "[" + tr.Guard.String() + "]{" +
+					strings.Join(tr.Actions, ",") + "}->" + tr.Target.Name)
+			}
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	base := structure(buildCounterEFSM(t, 5))
+	for _, max := range []int{7, 11} {
+		if got := structure(buildCounterEFSM(t, max)); got != base {
+			t.Errorf("max=%d: structure differs:\n%s\nvs base:\n%s", max, got, base)
+		}
+	}
+}
+
+func TestEFSMInstanceWalk(t *testing.T) {
+	efsm := buildCounterEFSM(t, 3)
+	inst, err := NewEFSMInstance(efsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.StateName() != "DISARMED" {
+		t.Fatalf("start = %s", inst.StateName())
+	}
+	// tick before arming: ignored.
+	if _, ok := inst.Deliver("tick"); ok {
+		t.Error("tick applied while disarmed")
+	}
+	if _, ok := inst.Deliver("arm"); !ok {
+		t.Fatal("arm not applied")
+	}
+	// Count to the beep.
+	var last []string
+	for i := 0; i < 3; i++ {
+		actions, ok := inst.Deliver("tick")
+		if !ok {
+			t.Fatalf("tick %d not applied", i)
+		}
+		last = actions
+	}
+	if len(last) != 1 || last[0] != "->beep" {
+		t.Errorf("beep actions = %v", last)
+	}
+	if inst.Var("count") != 3 {
+		t.Errorf("count = %d", inst.Var("count"))
+	}
+	// Final tick finishes.
+	if _, ok := inst.Deliver("tick"); !ok {
+		t.Fatal("finishing tick not applied")
+	}
+	if !inst.Finished() {
+		t.Error("not finished")
+	}
+	// Delivery after finish is ignored.
+	if _, ok := inst.Deliver("tick"); ok {
+		t.Error("delivery accepted after finish")
+	}
+}
+
+func TestNewEFSMInstanceValidation(t *testing.T) {
+	if _, err := NewEFSMInstance(nil); err == nil {
+		t.Error("nil EFSM accepted")
+	}
+	if _, err := NewEFSMInstance(&EFSM{}); err == nil {
+		t.Error("EFSM without start accepted")
+	}
+}
+
+// badAbstraction maps every state to one label, making states with
+// different behaviour collide: GeneralizeEFSM must reject it.
+type badAbstraction struct{}
+
+func (badAbstraction) StateLabel(Vector) string      { return "EVERYTHING" }
+func (badAbstraction) GuardComponent(msg string) int { return -1 }
+func (badAbstraction) VarOps(string) []VarOp         { return nil }
+func (badAbstraction) Symbol(int, int) string        { return "" }
+
+func TestGeneralizeRejectsUnsoundAbstraction(t *testing.T) {
+	machine, err := Generate(counterModel{max: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GeneralizeEFSM(machine, badAbstraction{}); err == nil {
+		t.Error("unsound abstraction accepted")
+	}
+}
+
+func TestVarOpString(t *testing.T) {
+	tests := []struct {
+		op   VarOp
+		want string
+	}{
+		{VarOp{Variable: "v", Delta: 1}, "v++"},
+		{VarOp{Variable: "v", Delta: -1}, "v--"},
+		{VarOp{Variable: "v", Delta: 3}, "v += 3"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestGuardHolds(t *testing.T) {
+	g := Guard{Variable: "v", Min: 2, Max: 4}
+	for val, want := range map[int]bool{1: false, 2: true, 3: true, 4: true, 5: false} {
+		if got := g.Holds(map[string]int{"v": val}); got != want {
+			t.Errorf("Holds(v=%d) = %v, want %v", val, got, want)
+		}
+	}
+}
+
+func TestEFSMStateNames(t *testing.T) {
+	efsm := buildCounterEFSM(t, 4)
+	names := efsm.StateNames()
+	if len(names) != 3 || names[0] != "DISARMED" {
+		t.Errorf("StateNames = %v", names)
+	}
+}

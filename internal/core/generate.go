@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Errors returned by Generate for malformed models.
+var (
+	ErrNoComponents = errors.New("core: model declares no state components")
+	ErrNoMessages   = errors.New("core: model declares no messages")
+)
+
+type genConfig struct {
+	prune           bool
+	merge           bool
+	singlePassMerge bool
+	describe        bool
+}
+
+// Option configures the generation pipeline.
+type Option func(*genConfig)
+
+// WithoutPruning disables step 3 (removal of unreachable states); the
+// resulting machine contains the full enumerated state space. Used by the
+// pipeline-ablation experiments.
+func WithoutPruning() Option { return func(c *genConfig) { c.prune = false } }
+
+// WithoutMerging disables step 4 (combining equivalent states). Used by the
+// pipeline-ablation experiments.
+func WithoutMerging() Option { return func(c *genConfig) { c.merge = false } }
+
+// WithSinglePassMerge makes step 4 perform exactly one round of equivalence
+// combining (states whose outgoing transitions perform the same actions and
+// lead to the same destination state) instead of iterating to a fixpoint.
+func WithSinglePassMerge() Option { return func(c *genConfig) { c.singlePassMerge = true } }
+
+// WithoutDescriptions skips attaching the model's per-state documentation,
+// which speeds up generation for large parameter values.
+func WithoutDescriptions() Option { return func(c *genConfig) { c.describe = false } }
+
+// rawTransition is the per-(state,message) effect computed during step 2.
+type rawTransition struct {
+	// msg is the message that triggers the transition.
+	msg string
+	// target is the enumeration index of the resulting state, or
+	// finishTarget for transitions into the synthetic finish state.
+	target      int
+	actions     []string
+	annotations []string
+}
+
+const finishTarget = -1
+
+// Generate executes the abstract model and returns the corresponding finite
+// state machine, following the four pipeline steps of §3.4: enumerate all
+// possible states, generate the transitions resulting from all possible
+// messages, prune unreachable states, and combine equivalent states.
+func Generate(m Model, opts ...Option) (*StateMachine, error) {
+	cfg := genConfig{prune: true, merge: true, describe: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	components := m.Components()
+	if len(components) == 0 {
+		return nil, ErrNoComponents
+	}
+	messages := m.Messages()
+	if len(messages) == 0 {
+		return nil, ErrNoMessages
+	}
+	if err := checkUnique(messages); err != nil {
+		return nil, err
+	}
+	start := m.Start()
+	if err := start.validate(components); err != nil {
+		return nil, fmt.Errorf("core: start state: %w", err)
+	}
+
+	// Step 1+2: enumerate every possible state and compute the transitions
+	// resulting from each possible message.
+	size := stateSpaceSize(components)
+	table := make([][]rawTransition, size)
+	hasFinish := false
+	for idx := 0; idx < size; idx++ {
+		v := vectorFromIndex(idx, components)
+		row := make([]rawTransition, 0, len(messages))
+		for _, msg := range messages {
+			eff, ok := m.Apply(v, msg)
+			if !ok {
+				continue
+			}
+			rt := rawTransition{msg: msg, actions: eff.Actions, annotations: eff.Annotations}
+			if eff.Finished {
+				rt.target = finishTarget
+				hasFinish = true
+			} else {
+				if err := eff.Target.validate(components); err != nil {
+					return nil, fmt.Errorf("core: %s on %s: %w", msg, v.Name(components), err)
+				}
+				rt.target = eff.Target.index(components)
+			}
+			row = append(row, rt)
+		}
+		table[idx] = row
+	}
+
+	// Step 3: prune unreachable states via breadth-first traversal from the
+	// start state.
+	startIdx := start.index(components)
+	reachable := make([]bool, size)
+	finishReachable := false
+	if cfg.prune {
+		queue := []int{startIdx}
+		reachable[startIdx] = true
+		for len(queue) > 0 {
+			idx := queue[0]
+			queue = queue[1:]
+			for _, rt := range table[idx] {
+				if rt.target == finishTarget {
+					finishReachable = true
+					continue
+				}
+				if !reachable[rt.target] {
+					reachable[rt.target] = true
+					queue = append(queue, rt.target)
+				}
+			}
+		}
+	} else {
+		for i := range reachable {
+			reachable[i] = true
+		}
+		finishReachable = hasFinish
+	}
+
+	machine := buildMachine(m, cfg, table, reachable, finishReachable, startIdx)
+	machine.Stats.InitialStates = size
+	machine.Stats.ReachableStates = len(machine.States)
+
+	// Step 4: combine equivalent states.
+	if cfg.merge {
+		mergeEquivalent(machine, cfg.singlePassMerge)
+	}
+	machine.Stats.FinalStates = len(machine.States)
+	machine.sortStates()
+	return machine, nil
+}
+
+// buildMachine materialises State and Transition objects for the reachable
+// portion of the transition table.
+func buildMachine(m Model, cfg genConfig, table [][]rawTransition, reachable []bool, finishReachable bool, startIdx int) *StateMachine {
+	components := m.Components()
+	machine := &StateMachine{
+		ModelName:  m.Name(),
+		Parameter:  m.Parameter(),
+		Components: components,
+		Messages:   append([]string(nil), m.Messages()...),
+	}
+
+	states := make(map[int]*State, len(table))
+	for idx, row := range table {
+		if !reachable[idx] {
+			continue
+		}
+		v := vectorFromIndex(idx, components)
+		s := &State{
+			Name:        v.Name(components),
+			Vector:      v,
+			Transitions: make(map[string]*Transition, len(row)),
+		}
+		if cfg.describe {
+			s.Annotations = m.DescribeState(v)
+		}
+		s.MergedNames = []string{s.Name}
+		states[idx] = s
+		machine.States = append(machine.States, s)
+	}
+
+	var finish *State
+	if finishReachable {
+		finish = &State{
+			Name:        FinishStateName,
+			Final:       true,
+			Transitions: map[string]*Transition{},
+			MergedNames: []string{FinishStateName},
+			Annotations: []string{"The algorithm instance has completed."},
+		}
+		machine.States = append(machine.States, finish)
+		machine.Finish = finish
+	}
+
+	for idx, row := range table {
+		if !reachable[idx] {
+			continue
+		}
+		s := states[idx]
+		for _, rt := range row {
+			var target *State
+			if rt.target == finishTarget {
+				target = finish
+			} else {
+				target = states[rt.target]
+				if target == nil {
+					// Target pruned: cannot happen for reachable sources,
+					// since reachability propagates through transitions.
+					continue
+				}
+			}
+			s.Transitions[rt.msg] = &Transition{
+				Message:     rt.msg,
+				Target:      target,
+				Actions:     append([]string(nil), rt.actions...),
+				Annotations: append([]string(nil), rt.annotations...),
+			}
+		}
+	}
+
+	machine.Start = states[startIdx]
+	return machine
+}
+
+func checkUnique(messages []string) error {
+	seen := make(map[string]struct{}, len(messages))
+	for _, msg := range messages {
+		if strings.TrimSpace(msg) == "" {
+			return errors.New("core: empty message name")
+		}
+		if _, dup := seen[msg]; dup {
+			return fmt.Errorf("core: duplicate message %q", msg)
+		}
+		seen[msg] = struct{}{}
+	}
+	return nil
+}

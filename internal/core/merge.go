@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// mergeEquivalent combines sets of equivalent states (§3.4 step 4): states
+// are equivalent when the outgoing transitions from each perform the same
+// actions and lead to the same destination state. Because combining two
+// states can make their predecessors newly equivalent, the relation is
+// computed by partition refinement to a fixpoint (Moore-style DFA
+// minimisation) unless singlePass is set, in which case exactly one
+// combining round is performed.
+func mergeEquivalent(machine *StateMachine, singlePass bool) {
+	states := machine.States
+	n := len(states)
+	if n == 0 {
+		return
+	}
+
+	pos := make(map[*State]int, n)
+	for i, s := range states {
+		pos[s] = i
+	}
+
+	// class[i] is the equivalence class of states[i]. Initially all states
+	// are in one class except the finish state, which is observably
+	// distinct (it terminates the machine).
+	class := make([]int, n)
+	for i, s := range states {
+		if s.Final {
+			class[i] = 1
+		}
+	}
+	classes := 2
+	if machine.Finish == nil {
+		classes = 1
+	}
+
+	for {
+		next, count := refine(machine, states, pos, class)
+		if count == classes && !changed(class, next) {
+			break
+		}
+		class, classes = next, count
+		if singlePass {
+			break
+		}
+	}
+
+	collapse(machine, class)
+}
+
+// refine splits the current partition: two states stay together only if for
+// every message they either both lack a transition, or both have one with
+// identical actions leading into the same class.
+func refine(machine *StateMachine, states []*State, pos map[*State]int, class []int) ([]int, int) {
+	sigs := make(map[string]int, len(states))
+	next := make([]int, len(states))
+	var b strings.Builder
+	for i, s := range states {
+		b.Reset()
+		b.WriteString(strconv.Itoa(class[i]))
+		for _, msg := range machine.Messages {
+			t, ok := s.Transitions[msg]
+			if !ok {
+				b.WriteString("|-")
+				continue
+			}
+			b.WriteString("|")
+			b.WriteString(strings.Join(t.Actions, ","))
+			b.WriteString(">")
+			b.WriteString(strconv.Itoa(class[pos[t.Target]]))
+		}
+		sig := b.String()
+		id, ok := sigs[sig]
+		if !ok {
+			id = len(sigs)
+			sigs[sig] = id
+		}
+		next[i] = id
+	}
+	return next, len(sigs)
+}
+
+func changed(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// collapse rewrites the machine so each equivalence class is represented by
+// a single state: the member with the smallest enumeration index (the start
+// state wins its class outright so the entry point is stable). Transition
+// targets are redirected to class representatives and merged-away names are
+// recorded on the representative.
+func collapse(machine *StateMachine, class []int) {
+	states := machine.States
+	pos := make(map[*State]int, len(states))
+	for i, s := range states {
+		pos[s] = i
+	}
+
+	rep := make(map[int]*State)
+	members := make(map[int][]*State)
+	for i, s := range states {
+		c := class[i]
+		members[c] = append(members[c], s)
+		cur, ok := rep[c]
+		switch {
+		case !ok:
+			rep[c] = s
+		case s == machine.Start:
+			rep[c] = s
+		case cur == machine.Start:
+			// keep current
+		case !s.Final && s.Vector.index(machine.Components) < cur.Vector.index(machine.Components):
+			rep[c] = s
+		}
+	}
+
+	kept := make([]*State, 0, len(rep))
+	for _, s := range states {
+		c := class[pos[s]]
+		if rep[c] != s {
+			continue
+		}
+		names := make([]string, 0, len(members[c]))
+		for _, m := range members[c] {
+			names = append(names, m.MergedNames...)
+		}
+		sort.Strings(names)
+		s.MergedNames = names
+		kept = append(kept, s)
+	}
+
+	for _, s := range kept {
+		for _, t := range s.Transitions {
+			t.Target = rep[class[pos[t.Target]]]
+		}
+	}
+
+	machine.States = kept
+	machine.Start = rep[class[pos[machine.Start]]]
+	if machine.Finish != nil {
+		machine.Finish = rep[class[pos[machine.Finish]]]
+	}
+}

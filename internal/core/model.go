@@ -1,0 +1,50 @@
+package core
+
+// Effect is the outcome of delivering one message to a machine in a given
+// state, as computed by an abstract model: the resulting state vector, the
+// actions performed (outgoing messages etc.), and documentation annotations
+// explaining the reaction.
+type Effect struct {
+	// Target is the resulting state vector. Ignored when Finished is set.
+	Target Vector
+	// Actions lists effects performed during the transition, in order,
+	// e.g. "->vote", "->commit". Empty for simple transitions.
+	Actions []string
+	// Annotations document the reasons for the state change.
+	Annotations []string
+	// Finished marks a transition into the synthetic finish state: the
+	// algorithm instance has completed and leaves the encoded state space.
+	Finished bool
+}
+
+// Model is a problem-specific abstract model: it captures the structure
+// common to all members of a family of finite state machines, and is
+// executed with Generate to produce a particular member.
+//
+// Implementations must be deterministic and side-effect free: Apply is
+// called for every (state, message) combination during generation, so the
+// control decisions that a generic algorithm would take dynamically are
+// taken at generation time (§3.4).
+type Model interface {
+	// Name identifies the model, e.g. "bft-commit".
+	Name() string
+	// Parameter returns the parameter value this model instance was
+	// constructed with (e.g. the replication factor).
+	Parameter() int
+	// Components defines the state space dimensions, in state-name order.
+	Components() []StateComponent
+	// Messages lists the message types the machine can receive, in
+	// canonical order.
+	Messages() []string
+	// Start returns the machine's initial state vector.
+	Start() Vector
+	// Apply computes the effect of receiving msg in state v. The second
+	// return value is false when the message is not applicable in v, in
+	// which case no transition is recorded (the paper's
+	// InvalidStateException path, Fig. 10).
+	Apply(v Vector, msg string) (Effect, bool)
+	// DescribeState returns human-readable documentation lines for state
+	// v, in terms of the generic algorithm (used in the Fig. 14 style
+	// renderings). May return nil.
+	DescribeState(v Vector) []string
+}

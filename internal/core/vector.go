@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector is a concrete assignment of values to the state components of an
+// abstract model: element i is the value of component i. Vectors are the
+// working representation during generation; they are converted to named
+// State objects in the resulting StateMachine.
+type Vector []int
+
+// Clone returns an independent copy of the vector.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports whether v and w assign identical values to every component.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Name renders the vector as a state name in the paper's encoding: the
+// component value names joined by "/", e.g. "T/2/F/0/F/F/F".
+func (v Vector) Name(components []StateComponent) string {
+	parts := make([]string, len(v))
+	for i, val := range v {
+		parts[i] = components[i].ValueName(val)
+	}
+	return strings.Join(parts, "/")
+}
+
+// index converts the vector to its ordinal position in the row-major
+// enumeration of the component cross product.
+func (v Vector) index(components []StateComponent) int {
+	idx := 0
+	for i, val := range v {
+		idx = idx*components[i].Cardinality() + val
+	}
+	return idx
+}
+
+// vectorFromIndex is the inverse of Vector.index.
+func vectorFromIndex(idx int, components []StateComponent) Vector {
+	v := make(Vector, len(components))
+	for i := len(components) - 1; i >= 0; i-- {
+		card := components[i].Cardinality()
+		v[i] = idx % card
+		idx /= card
+	}
+	return v
+}
+
+// stateSpaceSize returns the product of all component cardinalities.
+func stateSpaceSize(components []StateComponent) int {
+	size := 1
+	for _, c := range components {
+		size *= c.Cardinality()
+	}
+	return size
+}
+
+// validate checks that the vector has the right arity and every value is in
+// its component's domain.
+func (v Vector) validate(components []StateComponent) error {
+	if len(v) != len(components) {
+		return fmt.Errorf("core: vector arity %d, want %d components", len(v), len(components))
+	}
+	for i, val := range v {
+		if val < 0 || val >= components[i].Cardinality() {
+			return fmt.Errorf("core: component %q value %d out of range [0,%d)",
+				components[i].Name(), val, components[i].Cardinality())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Package render turns abstract machine representations into concrete
+// artefacts: textual state catalogues (Fig. 14), state-transition diagrams
+// in Graphviz DOT and an XML interchange format (Fig. 15), generated Go
+// source implementing the protocol (Fig. 16), and markdown documentation.
+//
+// Generative code is notoriously hard to read; following §4.1 the package
+// restricts itself to string manipulation structured by a small set of
+// buffer utilities (add, addLn, enterBlock, exitBlock — Fig. 18) that keep
+// both the generative and the generated code legible.
+package render
+
+import "strings"
+
+// Buffer accumulates generated text with managed indentation, providing the
+// utility methods of the paper's Fig. 18.
+type Buffer struct {
+	b      strings.Builder
+	indent int
+	// IndentWith is the string emitted per indentation level; tab when
+	// empty.
+	IndentWith  string
+	atLineStart bool
+}
+
+// NewBuffer returns an empty buffer at indentation level zero.
+func NewBuffer() *Buffer {
+	return &Buffer{atLineStart: true}
+}
+
+func (b *Buffer) indentUnit() string {
+	if b.IndentWith == "" {
+		return "\t"
+	}
+	return b.IndentWith
+}
+
+func (b *Buffer) writeIndent() {
+	if !b.atLineStart {
+		return
+	}
+	for i := 0; i < b.indent; i++ {
+		b.b.WriteString(b.indentUnit())
+	}
+	b.atLineStart = false
+}
+
+// Add appends the items to the output buffer.
+func (b *Buffer) Add(items ...string) {
+	for _, it := range items {
+		if it == "" {
+			continue
+		}
+		b.writeIndent()
+		b.b.WriteString(it)
+	}
+}
+
+// AddLn appends the items to the output buffer followed by a newline.
+func (b *Buffer) AddLn(items ...string) {
+	b.Add(items...)
+	b.b.WriteString("\n")
+	b.atLineStart = true
+}
+
+// BlankLn emits an empty line.
+func (b *Buffer) BlankLn() {
+	b.b.WriteString("\n")
+	b.atLineStart = true
+}
+
+// EnterBlock opens a new brace block and increases the indent level.
+func (b *Buffer) EnterBlock(header ...string) {
+	b.Add(header...)
+	if len(header) > 0 {
+		b.Add(" ")
+	}
+	b.AddLn("{")
+	b.IncreaseIndent()
+}
+
+// ExitBlock closes the current brace block and decreases the indent level.
+func (b *Buffer) ExitBlock(trailer ...string) {
+	b.DecreaseIndent()
+	b.Add("}")
+	b.Add(trailer...)
+	b.AddLn()
+}
+
+// IncreaseIndent increases the indentation level.
+func (b *Buffer) IncreaseIndent() { b.indent++ }
+
+// DecreaseIndent decreases the indentation level; it saturates at zero.
+func (b *Buffer) DecreaseIndent() {
+	if b.indent > 0 {
+		b.indent--
+	}
+}
+
+// ResetIndent returns the indentation level to zero.
+func (b *Buffer) ResetIndent() { b.indent = 0 }
+
+// Len returns the number of bytes accumulated.
+func (b *Buffer) Len() int { return b.b.Len() }
+
+// String returns the accumulated output.
+func (b *Buffer) String() string { return b.b.String() }

@@ -1,0 +1,99 @@
+package render
+
+import (
+	"strings"
+
+	"asagen/internal/core"
+)
+
+// DocRenderer renders a generated machine as a markdown document: an
+// overview table followed by a catalogue of states with their generated
+// commentary and transitions. This is the paper's "documentation" artefact
+// class (§1: "various artefacts are generated ... including diagrams,
+// source-level protocol implementations and documentation").
+type DocRenderer struct {
+	// Title overrides the document title; derived from the model when
+	// empty.
+	Title string
+}
+
+// NewDocRenderer returns a DocRenderer with default settings.
+func NewDocRenderer() *DocRenderer { return &DocRenderer{} }
+
+// Render produces the markdown document.
+func (r *DocRenderer) Render(m *core.StateMachine) string {
+	b := NewBuffer()
+	title := r.Title
+	if title == "" {
+		title = "State machine `" + m.ModelName + "` (parameter " + itoa(m.Parameter) + ")"
+	}
+	b.AddLn("# ", title)
+	b.BlankLn()
+	b.AddLn("Generated from the abstract model; do not edit.")
+	b.BlankLn()
+	b.AddLn("| Property | Value |")
+	b.AddLn("|---|---|")
+	b.AddLn("| Model | `", m.ModelName, "` |")
+	b.AddLn("| Parameter | ", itoa(m.Parameter), " |")
+	b.AddLn("| Messages | ", codeList(m.Messages), " |")
+	b.AddLn("| States (raw) | ", itoa(m.Stats.InitialStates), " |")
+	b.AddLn("| States (reachable) | ", itoa(m.Stats.ReachableStates), " |")
+	b.AddLn("| States (merged) | ", itoa(m.Stats.FinalStates), " |")
+	b.AddLn("| Transitions | ", itoa(m.TransitionCount()), " |")
+	b.AddLn("| Start state | `", m.Start.Name, "` |")
+	if m.Finish != nil {
+		b.AddLn("| Finish state | `", m.Finish.Name, "` |")
+	}
+	b.BlankLn()
+	b.AddLn("Component encoding of state names: `", componentList(m), "`.")
+	b.BlankLn()
+
+	b.AddLn("## States")
+	b.BlankLn()
+	for _, s := range m.States {
+		b.AddLn("### `", s.Name, "`")
+		b.BlankLn()
+		if len(s.MergedNames) > 1 {
+			b.AddLn("Combines equivalent states: ", codeList(s.MergedNames), ".")
+			b.BlankLn()
+		}
+		for _, line := range s.Annotations {
+			b.AddLn(line, "  ") // two-space markdown line break
+		}
+		if len(s.Annotations) > 0 {
+			b.BlankLn()
+		}
+		if len(s.Transitions) == 0 {
+			if s.Final {
+				b.AddLn("_Terminal state._")
+			} else {
+				b.AddLn("_No outgoing transitions._")
+			}
+			b.BlankLn()
+			continue
+		}
+		b.AddLn("| Message | Actions | Next state |")
+		b.AddLn("|---|---|---|")
+		for _, msg := range s.SortedMessages(m.Messages) {
+			tr := s.Transitions[msg]
+			actions := "—"
+			if len(tr.Actions) > 0 {
+				actions = codeList(tr.Actions)
+			}
+			b.AddLn("| `", msg, "` | ", actions, " | `", tr.Target.Name, "` |")
+		}
+		b.BlankLn()
+	}
+	return b.String()
+}
+
+func codeList(items []string) string {
+	if len(items) == 0 {
+		return ""
+	}
+	quoted := make([]string, len(items))
+	for i, it := range items {
+		quoted[i] = "`" + it + "`"
+	}
+	return strings.Join(quoted, ", ")
+}

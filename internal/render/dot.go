@@ -1,0 +1,121 @@
+package render
+
+import (
+	"strings"
+
+	"asagen/internal/core"
+)
+
+// DotRenderer renders a generated machine as a Graphviz DOT state-transition
+// diagram (the Fig. 15 artefact; the paper targeted a proprietary
+// diagramming tool, this repository targets dot and the XML renderer).
+// Simple transitions are drawn as thin edges; phase transitions — those
+// performing actions — as bold edges, matching the Fig. 8 convention.
+type DotRenderer struct {
+	// RankDir sets the graph direction; "LR" when empty.
+	RankDir string
+	// IncludeActions labels phase-transition edges with their actions.
+	IncludeActions bool
+}
+
+// NewDotRenderer returns a renderer with action labels enabled.
+func NewDotRenderer() *DotRenderer {
+	return &DotRenderer{IncludeActions: true}
+}
+
+// Render produces the DOT document.
+func (r *DotRenderer) Render(m *core.StateMachine) string {
+	b := NewBuffer()
+	b.IndentWith = "  "
+	b.AddLn("digraph \"", escapeDot(m.ModelName), "\" {")
+	b.IncreaseIndent()
+	rank := r.RankDir
+	if rank == "" {
+		rank = "LR"
+	}
+	b.AddLn("rankdir=", rank, ";")
+	b.AddLn("node [shape=box, fontname=\"Helvetica\"];")
+
+	for _, s := range m.States {
+		attrs := []string{}
+		switch {
+		case s == m.Start:
+			attrs = append(attrs, "style=filled", "fillcolor=lightblue")
+		case s.Final:
+			attrs = append(attrs, "shape=doublecircle")
+		}
+		line := "\"" + escapeDot(s.Name) + "\""
+		if len(attrs) > 0 {
+			line += " [" + strings.Join(attrs, ", ") + "]"
+		}
+		b.AddLn(line, ";")
+	}
+
+	for _, s := range m.States {
+		for _, msg := range s.SortedMessages(m.Messages) {
+			tr := s.Transitions[msg]
+			label := "<-" + strings.ToLower(msg)
+			if r.IncludeActions && len(tr.Actions) > 0 {
+				label += "\\n" + strings.Join(tr.Actions, "\\n")
+			}
+			attrs := []string{"label=\"" + escapeDot(label) + "\""}
+			if tr.IsPhase() {
+				attrs = append(attrs, "penwidth=2.2") // thick arrow: phase transition
+			}
+			b.AddLn("\"", escapeDot(s.Name), "\" -> \"", escapeDot(tr.Target.Name),
+				"\" [", strings.Join(attrs, ", "), "];")
+		}
+	}
+
+	b.DecreaseIndent()
+	b.AddLn("}")
+	return b.String()
+}
+
+// RenderEFSMDot renders an EFSM as a DOT diagram with guard/update labels.
+func RenderEFSMDot(e *core.EFSM) string {
+	b := NewBuffer()
+	b.IndentWith = "  "
+	b.AddLn("digraph \"", escapeDot(e.ModelName), "-efsm\" {")
+	b.IncreaseIndent()
+	b.AddLn("rankdir=LR;")
+	b.AddLn("node [shape=box, fontname=\"Helvetica\"];")
+	for _, s := range e.States {
+		attrs := ""
+		switch {
+		case s == e.Start:
+			attrs = " [style=filled, fillcolor=lightblue]"
+		case s.Final:
+			attrs = " [shape=doublecircle]"
+		}
+		b.AddLn("\"", escapeDot(s.Name), "\"", attrs, ";")
+	}
+	for _, s := range e.States {
+		for _, tr := range s.Transitions {
+			parts := []string{"<-" + strings.ToLower(tr.Message)}
+			if !tr.Guard.Unconditional() {
+				parts = append(parts, "["+tr.Guard.String()+"]")
+			}
+			for _, op := range tr.VarOps {
+				parts = append(parts, op.String())
+			}
+			parts = append(parts, tr.Actions...)
+			attrs := []string{"label=\"" + escapeDot(strings.Join(parts, "\\n")) + "\""}
+			if len(tr.Actions) > 0 {
+				attrs = append(attrs, "penwidth=2.2")
+			}
+			b.AddLn("\"", escapeDot(s.Name), "\" -> \"", escapeDot(tr.Target.Name),
+				"\" [", strings.Join(attrs, ", "), "];")
+		}
+	}
+	b.DecreaseIndent()
+	b.AddLn("}")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	// Preserve intentional newline escapes in labels.
+	s = strings.ReplaceAll(s, "\\\\n", "\\n")
+	return strings.ReplaceAll(s, "\"", "\\\"")
+}

@@ -1,0 +1,152 @@
+package render
+
+import (
+	"strings"
+
+	"asagen/internal/core"
+)
+
+// TextRenderer renders a generated machine as the simple textual
+// representation of the paper's Fig. 14: one section per state with its
+// auto-generated commentary and outgoing transitions.
+type TextRenderer struct {
+	// IncludeDescriptions controls whether state annotations are emitted.
+	IncludeDescriptions bool
+	// IncludeMergedNames lists the original state names combined into a
+	// merged state.
+	IncludeMergedNames bool
+}
+
+// NewTextRenderer returns a renderer with descriptions enabled.
+func NewTextRenderer() *TextRenderer {
+	return &TextRenderer{IncludeDescriptions: true}
+}
+
+// Render produces the textual representation of the whole machine.
+func (r *TextRenderer) Render(m *core.StateMachine) string {
+	b := NewBuffer()
+	b.AddLn("state machine: ", m.ModelName)
+	b.AddLn("parameter: ", itoa(m.Parameter))
+	b.AddLn("messages: ", strings.Join(m.Messages, ", "))
+	b.AddLn("states: ", itoa(len(m.States)))
+	b.BlankLn()
+	for _, s := range m.States {
+		r.renderState(b, m, s)
+	}
+	return b.String()
+}
+
+// RenderState produces the Fig. 14 style section for a single state.
+func (r *TextRenderer) RenderState(m *core.StateMachine, s *core.State) string {
+	b := NewBuffer()
+	r.renderState(b, m, s)
+	return b.String()
+}
+
+func (r *TextRenderer) renderState(b *Buffer, m *core.StateMachine, s *core.State) {
+	b.AddLn("state: ", s.Name)
+	b.AddLn(strings.Repeat("-", len("state: ")+len(s.Name)))
+
+	if r.IncludeMergedNames && len(s.MergedNames) > 1 {
+		b.AddLn("Combines: ", strings.Join(s.MergedNames, ", "))
+	}
+
+	if r.IncludeDescriptions && len(s.Annotations) > 0 {
+		b.AddLn("Description:")
+		b.BlankLn()
+		for _, line := range s.Annotations {
+			b.AddLn(line)
+		}
+		b.BlankLn()
+	}
+
+	b.AddLn("Transitions:")
+	b.BlankLn()
+	if len(s.Transitions) == 0 {
+		b.IncreaseIndent()
+		if s.Final {
+			b.AddLn("(terminal state)")
+		} else {
+			b.AddLn("(none)")
+		}
+		b.DecreaseIndent()
+		b.BlankLn()
+		return
+	}
+	for _, msg := range s.SortedMessages(m.Messages) {
+		tr := s.Transitions[msg]
+		b.IncreaseIndent()
+		b.AddLn("message: ", msg)
+		b.IncreaseIndent()
+		for _, a := range tr.Actions {
+			b.AddLn("action: ", a)
+		}
+		b.AddLn("transition to: ", tr.Target.Name)
+		b.DecreaseIndent()
+		b.DecreaseIndent()
+		b.BlankLn()
+	}
+}
+
+// RenderEFSMText renders an EFSM as a textual catalogue: per state, the
+// guarded transitions with variable updates and actions.
+func RenderEFSMText(e *core.EFSM) string {
+	b := NewBuffer()
+	b.AddLn("extended state machine: ", e.ModelName)
+	b.AddLn("generalised from parameter: ", itoa(e.Parameter))
+	b.AddLn("variables: ", strings.Join(e.Variables, ", "))
+	b.AddLn("states: ", itoa(len(e.States)))
+	b.BlankLn()
+	for _, s := range e.States {
+		b.AddLn("state: ", s.Name)
+		b.AddLn(strings.Repeat("-", len("state: ")+len(s.Name)))
+		if s.Final {
+			b.IncreaseIndent()
+			b.AddLn("(terminal state)")
+			b.DecreaseIndent()
+			b.BlankLn()
+			continue
+		}
+		for _, tr := range s.Transitions {
+			b.IncreaseIndent()
+			b.AddLn("message: ", tr.Message)
+			b.IncreaseIndent()
+			if !tr.Guard.Unconditional() {
+				b.AddLn("guard: ", tr.Guard.String())
+			}
+			for _, op := range tr.VarOps {
+				b.AddLn("update: ", op.String())
+			}
+			for _, a := range tr.Actions {
+				b.AddLn("action: ", a)
+			}
+			b.AddLn("transition to: ", tr.Target.Name)
+			b.DecreaseIndent()
+			b.DecreaseIndent()
+			b.BlankLn()
+		}
+	}
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,165 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+
+	"asagen/internal/core"
+)
+
+// chainModel is a three-state machine: 0 -inc-> 1 -inc-> 2 -inc-> FINISHED,
+// with a "ring" phase transition from state 1.
+type chainModel struct{}
+
+func (chainModel) Name() string   { return "chain" }
+func (chainModel) Parameter() int { return 2 }
+func (chainModel) Components() []core.StateComponent {
+	return []core.StateComponent{core.NewIntComponent("n", 2)}
+}
+func (chainModel) Messages() []string { return []string{"inc", "ring"} }
+func (chainModel) Start() core.Vector { return core.Vector{0} }
+func (chainModel) Apply(v core.Vector, msg string) (core.Effect, bool) {
+	switch msg {
+	case "inc":
+		if v[0] == 2 {
+			return core.Effect{Finished: true}, true
+		}
+		return core.Effect{Target: core.Vector{v[0] + 1}}, true
+	case "ring":
+		if v[0] != 1 {
+			return core.Effect{}, false
+		}
+		return core.Effect{Target: core.Vector{1}, Actions: []string{"->bell"}}, true
+	default:
+		return core.Effect{}, false
+	}
+}
+func (chainModel) DescribeState(core.Vector) []string { return nil }
+
+func buildChain(t *testing.T) *core.StateMachine {
+	t.Helper()
+	m, err := core.Generate(chainModel{})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return m
+}
+
+func TestInstanceWalk(t *testing.T) {
+	machine := buildChain(t)
+	var acted []string
+	inst, err := New(machine, ActionFunc(func(a string) { acted = append(acted, a) }))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if inst.StateName() != "0" {
+		t.Fatalf("start state = %s", inst.StateName())
+	}
+	if inst.Finished() {
+		t.Fatal("finished at start")
+	}
+
+	if _, err := inst.Deliver("inc"); err != nil {
+		t.Fatalf("inc: %v", err)
+	}
+	actions, err := inst.Deliver("ring")
+	if err != nil {
+		t.Fatalf("ring: %v", err)
+	}
+	if len(actions) != 1 || actions[0] != "->bell" {
+		t.Fatalf("ring actions = %v", actions)
+	}
+	if len(acted) != 1 || acted[0] != "->bell" {
+		t.Fatalf("handler saw %v", acted)
+	}
+
+	if _, err := inst.Deliver("inc"); err != nil {
+		t.Fatalf("inc: %v", err)
+	}
+	if _, err := inst.Deliver("inc"); err != nil {
+		t.Fatalf("final inc: %v", err)
+	}
+	if !inst.Finished() {
+		t.Fatal("not finished after walking the chain")
+	}
+	if _, err := inst.Deliver("inc"); !errors.Is(err, ErrFinished) {
+		t.Fatalf("Deliver after finish = %v, want ErrFinished", err)
+	}
+}
+
+func TestInstanceIgnoredMessage(t *testing.T) {
+	machine := buildChain(t)
+	inst, err := New(machine, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	_, err = inst.Deliver("ring") // not applicable in state 0
+	var ignored *IgnoredError
+	if !errors.As(err, &ignored) {
+		t.Fatalf("Deliver = %v, want IgnoredError", err)
+	}
+	if ignored.StateName != "0" || ignored.Message != "ring" {
+		t.Errorf("IgnoredError = %+v", ignored)
+	}
+	if inst.StateName() != "0" {
+		t.Error("ignored message changed state")
+	}
+	if ignored.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestInstanceUnknownMessage(t *testing.T) {
+	machine := buildChain(t)
+	inst, err := New(machine, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var ignored *IgnoredError
+	if _, err := inst.Deliver("bogus"); !errors.As(err, &ignored) {
+		t.Fatalf("Deliver(bogus) = %v, want IgnoredError", err)
+	}
+}
+
+func TestInstanceReset(t *testing.T) {
+	machine := buildChain(t)
+	inst, err := New(machine, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, m := range []string{"inc", "inc", "inc"} {
+		if _, err := inst.Deliver(m); err != nil {
+			t.Fatalf("Deliver(%s): %v", m, err)
+		}
+	}
+	if !inst.Finished() {
+		t.Fatal("not finished")
+	}
+	inst.Reset()
+	if inst.Finished() || inst.StateName() != "0" {
+		t.Errorf("after Reset: finished=%v state=%s", inst.Finished(), inst.StateName())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("New(nil) accepted")
+	}
+	if _, err := New(&core.StateMachine{}, nil); err == nil {
+		t.Error("New with no start state accepted")
+	}
+}
+
+func TestMachineAccessor(t *testing.T) {
+	machine := buildChain(t)
+	inst, err := New(machine, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Machine() != machine {
+		t.Error("Machine() returned a different machine")
+	}
+	if inst.State() != machine.Start {
+		t.Error("State() is not the start state")
+	}
+}

@@ -1,0 +1,329 @@
+// Package simnet is a deterministic discrete-event network simulator: the
+// substrate on which the ASA storage stack is exercised. The paper's system
+// runs on non-trusted, physically distributed infrastructure; here message
+// interleaving, variable latency, loss, duplication, partitions and node
+// churn are reproduced under a seeded random source, so every experiment is
+// replayable and every safety property testable across many schedules.
+//
+// The simulator is single-threaded: events are delivered one at a time in
+// virtual-time order, and handlers run to completion before the next
+// delivery. Determinism is part of the API contract — two networks built
+// with the same seed and driven by the same calls produce identical
+// histories.
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// NodeID identifies a simulated node.
+type NodeID string
+
+// Message is one in-flight protocol message.
+type Message struct {
+	// From is the sending node.
+	From NodeID
+	// To is the destination node.
+	To NodeID
+	// Type is the protocol-level message type.
+	Type string
+	// Payload carries arbitrary protocol data.
+	Payload any
+}
+
+// Handler receives messages delivered to a node.
+type Handler interface {
+	// HandleMessage processes one delivered message. It runs to completion
+	// before the next delivery; it may call back into the network to send
+	// further messages or set timers.
+	HandleMessage(net *Network, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(net *Network, msg Message)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(net *Network, msg Message) { f(net, msg) }
+
+var _ Handler = HandlerFunc(nil)
+
+// Errors returned by the network.
+var (
+	// ErrDuplicateNode reports an AddNode with an already-registered ID.
+	ErrDuplicateNode = errors.New("simnet: duplicate node")
+	// ErrUnknownNode reports an operation on an unregistered node.
+	ErrUnknownNode = errors.New("simnet: unknown node")
+)
+
+// Stats counts network activity.
+type Stats struct {
+	// Sent counts messages submitted for delivery.
+	Sent int
+	// Delivered counts messages handed to handlers.
+	Delivered int
+	// Dropped counts messages lost to the configured drop rate or to
+	// partitions.
+	Dropped int
+	// Duplicated counts extra deliveries injected by the duplication
+	// rate.
+	Duplicated int
+	// TimersFired counts elapsed timer callbacks.
+	TimersFired int
+}
+
+// event is a scheduled occurrence: a message delivery or a timer callback.
+type event struct {
+	at    time.Duration
+	seq   uint64 // tie-breaker for deterministic ordering
+	msg   Message
+	timer func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+type config struct {
+	minLatency time.Duration
+	maxLatency time.Duration
+	dropRate   float64
+	dupRate    float64
+}
+
+// Option configures a Network.
+type Option func(*config)
+
+// WithLatency sets the uniform message latency range.
+func WithLatency(minLatency, maxLatency time.Duration) Option {
+	return func(c *config) {
+		c.minLatency = minLatency
+		c.maxLatency = maxLatency
+	}
+}
+
+// WithDropRate sets the probability in [0,1) that any message is lost.
+func WithDropRate(p float64) Option {
+	return func(c *config) { c.dropRate = p }
+}
+
+// WithDuplicateRate sets the probability in [0,1) that a delivered message
+// is delivered a second time.
+func WithDuplicateRate(p float64) Option {
+	return func(c *config) { c.dupRate = p }
+}
+
+// Network is the simulated network: registered nodes, the virtual clock and
+// the pending event queue.
+type Network struct {
+	cfg        config
+	rng        *rand.Rand
+	now        time.Duration
+	seq        uint64
+	queue      eventQueue
+	nodes      map[NodeID]Handler
+	partitions map[[2]NodeID]bool
+	stats      Stats
+}
+
+// New returns an empty network driven by the given seed. The default
+// configuration delivers every message with 1–10ms latency, no loss and no
+// duplication.
+func New(seed int64, opts ...Option) *Network {
+	cfg := config{minLatency: time.Millisecond, maxLatency: 10 * time.Millisecond}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.maxLatency < cfg.minLatency {
+		cfg.maxLatency = cfg.minLatency
+	}
+	return &Network{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(seed)),
+		nodes:      make(map[NodeID]Handler),
+		partitions: make(map[[2]NodeID]bool),
+	}
+}
+
+// AddNode registers a node and its handler.
+func (n *Network) AddNode(id NodeID, h Handler) error {
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, id)
+	}
+	if h == nil {
+		return fmt.Errorf("simnet: nil handler for node %s", id)
+	}
+	n.nodes[id] = h
+	return nil
+}
+
+// RemoveNode unregisters a node; queued messages to it are dropped at
+// delivery time (fail-stop departure).
+func (n *Network) RemoveNode(id NodeID) {
+	delete(n.nodes, id)
+}
+
+// Nodes returns the registered node IDs in sorted order.
+func (n *Network) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// Stats returns a copy of the activity counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Rand returns the network's seeded random source, shared with protocol
+// code that needs reproducible randomness (e.g. replica selection).
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Partition cuts the link between a and b in both directions.
+func (n *Network) Partition(a, b NodeID) {
+	n.partitions[linkKey(a, b)] = true
+}
+
+// Heal restores the link between a and b.
+func (n *Network) Heal(a, b NodeID) {
+	delete(n.partitions, linkKey(a, b))
+}
+
+func linkKey(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
+func (n *Network) partitioned(a, b NodeID) bool {
+	return n.partitions[linkKey(a, b)]
+}
+
+// Send schedules msg for delivery after the configured latency. Messages to
+// unknown nodes are counted as dropped at delivery time, mirroring a host
+// that has left the network.
+func (n *Network) Send(msg Message) {
+	n.stats.Sent++
+	if n.cfg.dropRate > 0 && n.rng.Float64() < n.cfg.dropRate {
+		n.stats.Dropped++
+		return
+	}
+	n.schedule(n.latency(), msg, nil)
+	if n.cfg.dupRate > 0 && n.rng.Float64() < n.cfg.dupRate {
+		n.stats.Duplicated++
+		n.schedule(n.latency(), msg, nil)
+	}
+}
+
+// Broadcast sends the same type and payload from one node to many.
+func (n *Network) Broadcast(from NodeID, to []NodeID, msgType string, payload any) {
+	for _, dst := range to {
+		n.Send(Message{From: from, To: dst, Type: msgType, Payload: payload})
+	}
+}
+
+// After schedules a callback to run at Now()+d, for protocol timeouts and
+// retries.
+func (n *Network) After(d time.Duration, f func()) {
+	if f == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	n.schedule(d, Message{}, f)
+}
+
+func (n *Network) latency() time.Duration {
+	span := n.cfg.maxLatency - n.cfg.minLatency
+	if span <= 0 {
+		return n.cfg.minLatency
+	}
+	return n.cfg.minLatency + time.Duration(n.rng.Int63n(int64(span)+1))
+}
+
+func (n *Network) schedule(d time.Duration, msg Message, timer func()) {
+	n.seq++
+	heap.Push(&n.queue, &event{at: n.now + d, seq: n.seq, msg: msg, timer: timer})
+}
+
+// Pending reports the number of queued events.
+func (n *Network) Pending() int { return len(n.queue) }
+
+// Step delivers the next event; it reports false when the queue is empty.
+func (n *Network) Step() bool {
+	if len(n.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&n.queue).(*event)
+	n.now = ev.at
+	if ev.timer != nil {
+		n.stats.TimersFired++
+		ev.timer()
+		return true
+	}
+	if n.partitioned(ev.msg.From, ev.msg.To) {
+		n.stats.Dropped++
+		return true
+	}
+	h, ok := n.nodes[ev.msg.To]
+	if !ok {
+		n.stats.Dropped++
+		return true
+	}
+	n.stats.Delivered++
+	h.HandleMessage(n, ev.msg)
+	return true
+}
+
+// Run delivers events until the queue is empty or maxEvents deliveries have
+// occurred; it returns the number of events processed. maxEvents <= 0 means
+// no limit.
+func (n *Network) Run(maxEvents int) int {
+	processed := 0
+	for (maxEvents <= 0 || processed < maxEvents) && n.Step() {
+		processed++
+	}
+	return processed
+}
+
+// RunUntil delivers events until cond holds, the queue drains, or maxEvents
+// deliveries occur. It reports whether cond held when it stopped.
+func (n *Network) RunUntil(cond func() bool, maxEvents int) bool {
+	if cond() {
+		return true
+	}
+	processed := 0
+	for (maxEvents <= 0 || processed < maxEvents) && n.Step() {
+		processed++
+		if cond() {
+			return true
+		}
+	}
+	return cond()
+}

@@ -1,0 +1,328 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+type collector struct {
+	got []Message
+}
+
+func (c *collector) HandleMessage(_ *Network, msg Message) {
+	c.got = append(c.got, msg)
+}
+
+func TestDeliverBasic(t *testing.T) {
+	n := New(1)
+	a, b := &collector{}, &collector{}
+	if err := n.AddNode("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode("b", b); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Send(Message{From: "a", To: "b", Type: "ping", Payload: 42})
+	if got := n.Run(0); got != 1 {
+		t.Fatalf("Run processed %d events, want 1", got)
+	}
+	if len(b.got) != 1 || b.got[0].Type != "ping" || b.got[0].Payload.(int) != 42 {
+		t.Fatalf("b received %v", b.got)
+	}
+	if len(a.got) != 0 {
+		t.Error("sender received its own message")
+	}
+	if n.Now() <= 0 {
+		t.Error("virtual clock did not advance")
+	}
+	st := n.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	n := New(1)
+	if err := n.AddNode("a", &collector{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode("a", &collector{}); !errors.Is(err, ErrDuplicateNode) {
+		t.Errorf("duplicate AddNode error = %v", err)
+	}
+	if err := n.AddNode("b", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []string {
+		n := New(seed, WithLatency(time.Millisecond, 20*time.Millisecond))
+		var log []string
+		for _, id := range []NodeID{"a", "b", "c"} {
+			id := id
+			err := n.AddNode(id, HandlerFunc(func(net *Network, msg Message) {
+				log = append(log, fmt.Sprintf("%s<-%s:%s@%v", id, msg.From, msg.Type, net.Now()))
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 30; i++ {
+			n.Send(Message{From: "a", To: NodeID([]string{"b", "c"}[i%2]), Type: fmt.Sprintf("m%d", i)})
+		}
+		n.Run(0)
+		return log
+	}
+	t1, t2 := trace(7), trace(7)
+	if len(t1) != len(t2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	n := New(3, WithDropRate(0.5))
+	c := &collector{}
+	if err := n.AddNode("b", c); err != nil {
+		t.Fatal(err)
+	}
+	const total = 1000
+	for i := 0; i < total; i++ {
+		n.Send(Message{From: "a", To: "b", Type: "x"})
+	}
+	n.Run(0)
+	st := n.Stats()
+	if st.Delivered+st.Dropped != total {
+		t.Errorf("delivered+dropped = %d, want %d", st.Delivered+st.Dropped, total)
+	}
+	if st.Dropped < total/3 || st.Dropped > 2*total/3 {
+		t.Errorf("dropped = %d of %d, outside plausible band for p=0.5", st.Dropped, total)
+	}
+	if len(c.got) != st.Delivered {
+		t.Errorf("handler saw %d, stats say %d", len(c.got), st.Delivered)
+	}
+}
+
+func TestDuplicateRate(t *testing.T) {
+	n := New(4, WithDuplicateRate(0.5))
+	c := &collector{}
+	if err := n.AddNode("b", c); err != nil {
+		t.Fatal(err)
+	}
+	const total = 1000
+	for i := 0; i < total; i++ {
+		n.Send(Message{From: "a", To: "b", Type: "x"})
+	}
+	n.Run(0)
+	if len(c.got) <= total {
+		t.Errorf("no duplicates delivered: %d", len(c.got))
+	}
+	if got := n.Stats().Duplicated; got != len(c.got)-total {
+		t.Errorf("Duplicated = %d, want %d", got, len(c.got)-total)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(5)
+	c := &collector{}
+	if err := n.AddNode("b", c); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition("a", "b")
+	n.Send(Message{From: "a", To: "b", Type: "x"})
+	n.Run(0)
+	if len(c.got) != 0 {
+		t.Error("message crossed a partition")
+	}
+	if n.Stats().Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", n.Stats().Dropped)
+	}
+	n.Heal("a", "b")
+	n.Send(Message{From: "a", To: "b", Type: "y"})
+	n.Run(0)
+	if len(c.got) != 1 || c.got[0].Type != "y" {
+		t.Errorf("after heal got %v", c.got)
+	}
+	// Partition is symmetric.
+	n.Partition("b", "a")
+	n.Send(Message{From: "a", To: "b", Type: "z"})
+	n.Run(0)
+	if len(c.got) != 1 {
+		t.Error("symmetric partition not enforced")
+	}
+}
+
+func TestRemoveNodeDropsQueuedMessages(t *testing.T) {
+	n := New(6)
+	c := &collector{}
+	if err := n.AddNode("b", c); err != nil {
+		t.Fatal(err)
+	}
+	n.Send(Message{From: "a", To: "b", Type: "x"})
+	n.RemoveNode("b")
+	n.Run(0)
+	if len(c.got) != 0 {
+		t.Error("removed node received message")
+	}
+	if n.Stats().Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", n.Stats().Dropped)
+	}
+}
+
+func TestTimerOrdering(t *testing.T) {
+	n := New(7)
+	var order []string
+	n.After(30*time.Millisecond, func() { order = append(order, "late") })
+	n.After(10*time.Millisecond, func() { order = append(order, "early") })
+	n.After(-5, func() { order = append(order, "now") })
+	n.After(0, nil) // ignored
+	n.Run(0)
+	want := []string{"now", "early", "late"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if n.Stats().TimersFired != 3 {
+		t.Errorf("TimersFired = %d, want 3", n.Stats().TimersFired)
+	}
+}
+
+func TestTimersChainWithMessages(t *testing.T) {
+	n := New(8, WithLatency(5*time.Millisecond, 5*time.Millisecond))
+	var events []string
+	err := n.AddNode("b", HandlerFunc(func(net *Network, msg Message) {
+		events = append(events, "msg")
+		net.After(time.Millisecond, func() { events = append(events, "timer") })
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Send(Message{From: "a", To: "b", Type: "x"})
+	n.Run(0)
+	if len(events) != 2 || events[0] != "msg" || events[1] != "timer" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	n := New(9)
+	count := 0
+	err := n.AddNode("b", HandlerFunc(func(net *Network, msg Message) {
+		count++
+		if count < 10 {
+			net.Send(Message{From: "b", To: "b", Type: "loop"})
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Send(Message{From: "a", To: "b", Type: "loop"})
+	if !n.RunUntil(func() bool { return count >= 5 }, 0) {
+		t.Fatal("RunUntil did not reach condition")
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	// Condition already true: no events processed.
+	before := n.Stats().Delivered
+	if !n.RunUntil(func() bool { return true }, 0) {
+		t.Fatal("trivially true condition not detected")
+	}
+	if n.Stats().Delivered != before {
+		t.Error("RunUntil processed events despite satisfied condition")
+	}
+	// Unreachable condition with bounded events terminates.
+	if n.RunUntil(func() bool { return false }, 3) {
+		t.Error("unreachable condition reported true")
+	}
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	n := New(10)
+	if err := n.AddNode("b", &collector{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		n.Send(Message{From: "a", To: "b", Type: "x"})
+	}
+	if got := n.Run(4); got != 4 {
+		t.Errorf("Run(4) = %d", got)
+	}
+	if n.Pending() != 6 {
+		t.Errorf("Pending = %d, want 6", n.Pending())
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	n := New(11)
+	for _, id := range []NodeID{"c", "a", "b"} {
+		if err := n.AddNode(id, &collector{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := n.Nodes()
+	want := []NodeID{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v", got)
+		}
+	}
+}
+
+// TestVirtualTimeMonotonic is a property test: across arbitrary seeds,
+// delivery times never decrease and all latencies stay within the
+// configured band.
+func TestVirtualTimeMonotonic(t *testing.T) {
+	prop := func(seed int64) bool {
+		n := New(seed, WithLatency(2*time.Millisecond, 9*time.Millisecond))
+		ok := true
+		last := time.Duration(0)
+		err := n.AddNode("b", HandlerFunc(func(net *Network, msg Message) {
+			if net.Now() < last {
+				ok = false
+			}
+			last = net.Now()
+		}))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			n.Send(Message{From: "a", To: "b", Type: "x"})
+		}
+		n.Run(0)
+		return ok
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := New(12)
+	cs := map[NodeID]*collector{"a": {}, "b": {}, "c": {}}
+	for id, c := range cs {
+		if err := n.AddNode(id, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Broadcast("a", []NodeID{"b", "c"}, "hello", nil)
+	n.Run(0)
+	if len(cs["b"].got) != 1 || len(cs["c"].got) != 1 {
+		t.Errorf("broadcast delivery: b=%d c=%d", len(cs["b"].got), len(cs["c"].got))
+	}
+	if len(cs["a"].got) != 0 {
+		t.Error("broadcast delivered to sender")
+	}
+}

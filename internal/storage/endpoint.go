@@ -1,0 +1,189 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"asagen/internal/chord"
+	"asagen/internal/simnet"
+)
+
+// Errors returned by the storage endpoint.
+var (
+	// ErrStoreQuorum reports a store that failed to collect r−f
+	// acknowledgements.
+	ErrStoreQuorum = errors.New("storage: store quorum not reached")
+	// ErrNotFound reports a retrieval for which no replica returned a
+	// block that verified against the PID.
+	ErrNotFound = errors.New("storage: block not found on any replica")
+)
+
+// Endpoint is the data storage service endpoint of §2.1: it computes PIDs,
+// locates the replica peer set through the routing layer, and runs the
+// quorum store / verified retrieve protocols over the simulated network.
+type Endpoint struct {
+	id   simnet.NodeID
+	net  *simnet.Network
+	ring *chord.Ring
+	r    int
+	f    int
+
+	nextReq   uint64
+	storeAcks map[uint64]map[simnet.NodeID]bool
+	fetches   map[uint64]*FetchReply
+	// maxEvents bounds how long one operation may drive the network.
+	maxEvents int
+}
+
+var _ simnet.Handler = (*Endpoint)(nil)
+
+// NewEndpoint registers a storage client on the network. The replication
+// factor must allow Byzantine tolerance (r ≥ 4, r > 3f with f = ⌊(r−1)/3⌋).
+func NewEndpoint(id simnet.NodeID, net *simnet.Network, ring *chord.Ring, replicationFactor int) (*Endpoint, error) {
+	if replicationFactor < 4 {
+		return nil, fmt.Errorf("storage: replication factor %d < 4", replicationFactor)
+	}
+	e := &Endpoint{
+		id:        id,
+		net:       net,
+		ring:      ring,
+		r:         replicationFactor,
+		f:         (replicationFactor - 1) / 3,
+		storeAcks: make(map[uint64]map[simnet.NodeID]bool),
+		fetches:   make(map[uint64]*FetchReply),
+		maxEvents: 100000,
+	}
+	if err := net.AddNode(id, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ReplicationFactor returns r.
+func (e *Endpoint) ReplicationFactor() int { return e.r }
+
+// FaultTolerance returns f.
+func (e *Endpoint) FaultTolerance() int { return e.f }
+
+// HandleMessage implements simnet.Handler: it collects store
+// acknowledgements and fetch replies for in-flight operations.
+func (e *Endpoint) HandleMessage(_ *simnet.Network, msg simnet.Message) {
+	switch msg.Type {
+	case MsgStoreAck:
+		ack, ok := msg.Payload.(StoreAck)
+		if !ok {
+			return
+		}
+		if acks, pending := e.storeAcks[ack.ReqID]; pending {
+			acks[msg.From] = true
+		}
+	case MsgFetchReply:
+		reply, ok := msg.Payload.(FetchReply)
+		if !ok {
+			return
+		}
+		if _, pending := e.fetches[reply.ReqID]; pending {
+			e.fetches[reply.ReqID] = &reply
+		}
+	}
+}
+
+// Locate resolves each replica key to the network identity of its owning
+// node, routing through the overlay.
+func (e *Endpoint) Locate(keys []chord.ID) ([]simnet.NodeID, error) {
+	ids := make([]simnet.NodeID, 0, len(keys))
+	for _, key := range keys {
+		from, err := e.ring.RandomNode()
+		if err != nil {
+			return nil, fmt.Errorf("storage: locate: %w", err)
+		}
+		owner, _, err := from.FindSuccessor(key)
+		if err != nil {
+			return nil, fmt.Errorf("storage: locate key %x: %w", uint64(key), err)
+		}
+		ids = append(ids, simnet.NodeID(owner.Name()))
+	}
+	return ids, nil
+}
+
+// Store writes a data block: it computes the block's PID, locates the r
+// replica nodes with the key-generation function, sends each a copy and
+// completes once r−f have acknowledged — enough that at least f+1 honest
+// nodes hold the block even if f acknowledgements were lies.
+func (e *Endpoint) Store(data []byte) (PID, error) {
+	pid := ComputePID(data)
+	replicas, err := e.Locate(KeysForPID(pid, e.r))
+	if err != nil {
+		return pid, err
+	}
+
+	e.nextReq++
+	reqID := e.nextReq
+	acks := make(map[simnet.NodeID]bool, len(replicas))
+	e.storeAcks[reqID] = acks
+	defer delete(e.storeAcks, reqID)
+
+	sent := make(map[simnet.NodeID]bool, len(replicas))
+	for _, id := range replicas {
+		if sent[id] {
+			continue // small rings can map several keys to one node
+		}
+		sent[id] = true
+		e.net.Send(simnet.Message{
+			From: e.id, To: id, Type: MsgStore,
+			Payload: StoreRequest{ReqID: reqID, PID: pid, Data: data},
+		})
+	}
+
+	need := e.r - e.f
+	if need > len(sent) {
+		need = len(sent)
+	}
+	ok := e.net.RunUntil(func() bool { return len(acks) >= need }, e.maxEvents)
+	if !ok {
+		return pid, fmt.Errorf("%w: %d/%d acks for %s", ErrStoreQuorum, len(acks), need, pid.Short())
+	}
+	return pid, nil
+}
+
+// Retrieve reads the block named by pid: replicas are tried one at a time
+// in random order, and the first reply whose content verifies against the
+// PID is returned. Corrupt or missing replicas are skipped — the secure
+// hash makes any single honest replica sufficient (§2.1).
+func (e *Endpoint) Retrieve(pid PID) ([]byte, error) {
+	replicas, err := e.Locate(KeysForPID(pid, e.r))
+	if err != nil {
+		return nil, err
+	}
+	order := e.net.Rand().Perm(len(replicas))
+
+	tried := make(map[simnet.NodeID]bool, len(replicas))
+	for _, i := range order {
+		id := replicas[i]
+		if tried[id] {
+			continue
+		}
+		tried[id] = true
+
+		e.nextReq++
+		reqID := e.nextReq
+		e.fetches[reqID] = nil
+
+		e.net.Send(simnet.Message{
+			From: e.id, To: id, Type: MsgFetch,
+			Payload: FetchRequest{ReqID: reqID, PID: pid},
+		})
+		e.net.RunUntil(func() bool { return e.fetches[reqID] != nil }, e.maxEvents)
+		reply := e.fetches[reqID]
+		delete(e.fetches, reqID)
+
+		if reply == nil || !reply.Found {
+			continue // silent or empty replica: try the next one
+		}
+		if !pid.Verify(reply.Data) {
+			continue // corrupt replica detected by the hash check
+		}
+		return reply.Data, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, pid.Short())
+}

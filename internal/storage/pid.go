@@ -1,0 +1,80 @@
+// Package storage implements the generic key-based storage layer of the
+// ASA architecture (§2.1): immutable data blocks named by PIDs (secure
+// hashes of their content), replicated across a peer set of nodes located
+// through the key-based routing layer. A store completes once r−f replicas
+// acknowledge; retrieval verifies the returned block against its PID, so a
+// single honest replica suffices.
+package storage
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"encoding/binary"
+	"encoding/hex"
+
+	"asagen/internal/chord"
+)
+
+// PID is a Persistent Identifier: the SHA-1 digest of an immutable data
+// block's content (§2.1; SHA-1 per the paper's prototype).
+type PID [sha1.Size]byte
+
+// ComputePID returns the PID of a data block.
+func ComputePID(data []byte) PID {
+	return sha1.Sum(data)
+}
+
+// String returns the PID in hexadecimal.
+func (p PID) String() string { return hex.EncodeToString(p[:]) }
+
+// Short returns an abbreviated hexadecimal form for logs.
+func (p PID) Short() string { return hex.EncodeToString(p[:4]) }
+
+// Verify reports whether data hashes to this PID — the integrity check a
+// client applies to a retrieved block, making storage nodes untrusted for
+// reads.
+func (p PID) Verify(data []byte) bool {
+	sum := sha1.Sum(data)
+	return bytes.Equal(sum[:], p[:])
+}
+
+// GUID is a Globally Unique Identifier denoting something with identity,
+// such as a file, whose version history maps it to a sequence of PIDs.
+type GUID [sha1.Size]byte
+
+// NewGUID derives a GUID from a name.
+func NewGUID(name string) GUID {
+	return sha1.Sum([]byte("guid:" + name))
+}
+
+// String returns the GUID in hexadecimal.
+func (g GUID) String() string { return hex.EncodeToString(g[:]) }
+
+// Short returns an abbreviated hexadecimal form for logs.
+func (g GUID) Short() string { return hex.EncodeToString(g[:4]) }
+
+// ReplicaKeys is the globally known key-generation function of §2.1: it
+// deterministically derives replicationFactor routing keys from a single
+// base key, evenly distributed in key space, so replicas land on
+// independent nodes.
+func ReplicaKeys(base chord.ID, replicationFactor int) []chord.ID {
+	if replicationFactor <= 0 {
+		return nil
+	}
+	keys := make([]chord.ID, replicationFactor)
+	stride := ^chord.ID(0)/chord.ID(replicationFactor) + 1
+	for i := range keys {
+		keys[i] = base + chord.ID(i)*stride
+	}
+	return keys
+}
+
+// KeysForPID derives the replica keys for a data block.
+func KeysForPID(pid PID, replicationFactor int) []chord.ID {
+	return ReplicaKeys(chord.ID(binary.BigEndian.Uint64(pid[:8])), replicationFactor)
+}
+
+// KeysForGUID derives the peer-set keys for a version history.
+func KeysForGUID(guid GUID, replicationFactor int) []chord.ID {
+	return ReplicaKeys(chord.ID(binary.BigEndian.Uint64(guid[:8])), replicationFactor)
+}

@@ -1,0 +1,327 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"asagen/internal/chord"
+	"asagen/internal/simnet"
+)
+
+func TestComputePIDAndVerify(t *testing.T) {
+	data := []byte("the quick brown fox")
+	pid := ComputePID(data)
+	if !pid.Verify(data) {
+		t.Error("PID does not verify its own content")
+	}
+	if pid.Verify([]byte("tampered")) {
+		t.Error("PID verifies foreign content")
+	}
+	if pid != ComputePID(data) {
+		t.Error("PID not deterministic")
+	}
+	if len(pid.String()) != 40 {
+		t.Errorf("hex PID length = %d, want 40", len(pid.String()))
+	}
+	if len(pid.Short()) != 8 {
+		t.Errorf("short PID length = %d", len(pid.Short()))
+	}
+}
+
+// TestPIDVerifyProperty: for arbitrary blobs, Verify accepts the hashed
+// content and rejects any single-byte mutation.
+func TestPIDVerifyProperty(t *testing.T) {
+	prop := func(data []byte, flip uint8) bool {
+		pid := ComputePID(data)
+		if !pid.Verify(data) {
+			return false
+		}
+		if len(data) == 0 {
+			return true
+		}
+		mutated := append([]byte(nil), data...)
+		mutated[int(flip)%len(mutated)] ^= 0x01
+		return !pid.Verify(mutated)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGUID(t *testing.T) {
+	a, b := NewGUID("file-a"), NewGUID("file-b")
+	if a == b {
+		t.Error("distinct names share a GUID")
+	}
+	if a != NewGUID("file-a") {
+		t.Error("GUID not deterministic")
+	}
+	if len(a.String()) != 40 || len(a.Short()) != 8 {
+		t.Error("GUID rendering lengths wrong")
+	}
+}
+
+func TestReplicaKeysEvenlySpread(t *testing.T) {
+	keys := ReplicaKeys(12345, 4)
+	if len(keys) != 4 {
+		t.Fatalf("len = %d", len(keys))
+	}
+	stride := keys[1] - keys[0]
+	for i := 1; i < len(keys); i++ {
+		if keys[i]-keys[i-1] != stride {
+			t.Errorf("uneven stride at %d", i)
+		}
+	}
+	// Spread covers the ring: stride ≈ 2^64 / r.
+	if stride < (^chord.ID(0))/5 {
+		t.Errorf("stride %d too small for even spread", stride)
+	}
+	if got := ReplicaKeys(1, 0); got != nil {
+		t.Error("non-nil keys for zero replication")
+	}
+}
+
+func TestKeysDeterministic(t *testing.T) {
+	pid := ComputePID([]byte("x"))
+	a, b := KeysForPID(pid, 7), KeysForPID(pid, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("replica keys not deterministic")
+		}
+	}
+	guid := NewGUID("g")
+	if KeysForGUID(guid, 4)[0] == KeysForPID(pid, 4)[0] {
+		t.Log("note: coincidental key collision (harmless)")
+	}
+}
+
+// cluster wires a ring of storage nodes and an endpoint together.
+type cluster struct {
+	net      *simnet.Network
+	ring     *chord.Ring
+	endpoint *Endpoint
+	nodes    map[simnet.NodeID]*Node
+}
+
+// newCluster builds n storage nodes; behaviours assigns fault models to a
+// subset of node indices.
+func newCluster(t *testing.T, seed int64, n, replication int, behaviours map[int]Behaviour) *cluster {
+	t.Helper()
+	net := simnet.New(seed)
+	ring, err := chord.Build(seed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &cluster{net: net, ring: ring, nodes: make(map[simnet.NodeID]*Node)}
+	for i, cn := range ring.Nodes() {
+		behaviour := Honest
+		if b, ok := behaviours[i]; ok {
+			behaviour = b
+		}
+		id := simnet.NodeID(cn.Name())
+		node := NewNode(id, behaviour)
+		c.nodes[id] = node
+		if err := net.AddNode(id, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.endpoint, err = NewEndpoint("client", net, ring, replication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStoreAndRetrieveAllHonest(t *testing.T) {
+	c := newCluster(t, 1, 32, 4, nil)
+	data := []byte("hello distributed world")
+	pid, err := c.endpoint.Store(data)
+	if err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	got, err := c.endpoint.Retrieve(pid)
+	if err != nil {
+		t.Fatalf("Retrieve: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("retrieved content differs")
+	}
+}
+
+func TestStoreReplicationCount(t *testing.T) {
+	c := newCluster(t, 2, 32, 4, nil)
+	data := []byte("replicate me")
+	pid, err := c.endpoint.Store(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.net.Run(0) // let stragglers finish
+	holders := 0
+	for _, n := range c.nodes {
+		if n.Holds(pid) {
+			holders++
+		}
+	}
+	// All r distinct replica nodes eventually hold the block.
+	replicas, err := c.endpoint.Locate(KeysForPID(pid, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[simnet.NodeID]bool{}
+	for _, id := range replicas {
+		distinct[id] = true
+	}
+	if holders != len(distinct) {
+		t.Errorf("holders = %d, want %d", holders, len(distinct))
+	}
+}
+
+func TestStoreToleratesSilentMinority(t *testing.T) {
+	// With r = 4, f = 1: one silent node must not block the store.
+	for seed := int64(1); seed <= 10; seed++ {
+		c := newCluster(t, seed, 16, 4, map[int]Behaviour{0: Silent, 5: Silent})
+		// Two silent nodes among 16: a given peer set of 4 contains at
+		// most 2; if more than f are silent the store may legitimately
+		// fail, so only assert success when ≤ f replicas are silent.
+		data := []byte(fmt.Sprintf("payload-%d", seed))
+		pid := ComputePID(data)
+		replicas, err := c.endpoint.Locate(KeysForPID(pid, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		silent := 0
+		seen := map[simnet.NodeID]bool{}
+		for _, id := range replicas {
+			if !seen[id] {
+				seen[id] = true
+				if c.nodes[id].Behaviour() == Silent {
+					silent++
+				}
+			}
+		}
+		_, err = c.endpoint.Store(data)
+		if silent <= 1 && len(seen) == 4 {
+			if err != nil {
+				t.Errorf("seed %d: store failed with %d silent replicas: %v", seed, silent, err)
+			}
+		}
+	}
+}
+
+func TestStoreFailsBeyondQuorum(t *testing.T) {
+	// All nodes silent: no acknowledgements, the store must fail.
+	behaviours := map[int]Behaviour{}
+	for i := 0; i < 16; i++ {
+		behaviours[i] = Silent
+	}
+	c := newCluster(t, 3, 16, 4, behaviours)
+	_, err := c.endpoint.Store([]byte("doomed"))
+	if !errors.Is(err, ErrStoreQuorum) {
+		t.Errorf("Store = %v, want ErrStoreQuorum", err)
+	}
+}
+
+func TestRetrieveSkipsCorruptReplicas(t *testing.T) {
+	// Make most nodes corrupting; retrieval must still find the honest
+	// replica by hash verification.
+	for seed := int64(1); seed <= 10; seed++ {
+		behaviours := map[int]Behaviour{}
+		for i := 0; i < 16; i += 2 {
+			behaviours[i] = Corrupting
+		}
+		c := newCluster(t, seed, 16, 4, behaviours)
+		data := []byte(fmt.Sprintf("precious-%d", seed))
+		pid, err := c.endpoint.Store(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.net.Run(0)
+		// At least one replica honest?
+		replicas, err := c.endpoint.Locate(KeysForPID(pid, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		honest := 0
+		seen := map[simnet.NodeID]bool{}
+		for _, id := range replicas {
+			if !seen[id] {
+				seen[id] = true
+				if c.nodes[id].Behaviour() == Honest {
+					honest++
+				}
+			}
+		}
+		got, err := c.endpoint.Retrieve(pid)
+		if honest >= 1 {
+			if err != nil {
+				t.Errorf("seed %d: Retrieve failed with %d honest replicas: %v", seed, honest, err)
+				continue
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("seed %d: corrupted data returned", seed)
+			}
+		}
+	}
+}
+
+func TestRetrieveUnknownPID(t *testing.T) {
+	c := newCluster(t, 4, 16, 4, nil)
+	if _, err := c.endpoint.Retrieve(ComputePID([]byte("never stored"))); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Retrieve = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLyingNodesDetectedOnRead(t *testing.T) {
+	// Lying nodes ack but discard; with ≤ f liars the store succeeds and
+	// the block is still retrievable from honest replicas.
+	c := newCluster(t, 5, 16, 4, map[int]Behaviour{2: Lying})
+	data := []byte("audit me")
+	pid, err := c.endpoint.Store(data)
+	if err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	c.net.Run(0)
+	got, err := c.endpoint.Retrieve(pid)
+	if err != nil {
+		t.Fatalf("Retrieve: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("content differs")
+	}
+}
+
+func TestEndpointValidation(t *testing.T) {
+	net := simnet.New(1)
+	ring, err := chord.Build(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEndpoint("c", net, ring, 3); err == nil {
+		t.Error("replication factor 3 accepted")
+	}
+	if _, err := NewEndpoint("c", net, ring, 4); err != nil {
+		t.Errorf("valid endpoint rejected: %v", err)
+	}
+	// Duplicate network identity.
+	if _, err := NewEndpoint("c", net, ring, 4); err == nil {
+		t.Error("duplicate endpoint id accepted")
+	}
+}
+
+func TestBehaviourString(t *testing.T) {
+	tests := []struct {
+		b    Behaviour
+		want string
+	}{
+		{Honest, "honest"}, {Silent, "silent"}, {Lying, "lying"},
+		{Corrupting, "corrupting"}, {Behaviour(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.b.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", tt.b, got, tt.want)
+		}
+	}
+}

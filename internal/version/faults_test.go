@@ -1,0 +1,184 @@
+package version
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"asagen/internal/chord"
+	"asagen/internal/simnet"
+	"asagen/internal/storage"
+)
+
+// newLossyStack builds the stack on a network with the given drop and
+// duplication rates.
+func newLossyStack(t *testing.T, seed int64, drop, dup float64) *testStack {
+	t.Helper()
+	net := simnet.New(seed,
+		simnet.WithDropRate(drop),
+		simnet.WithDuplicateRate(dup),
+		simnet.WithLatency(time.Millisecond, 15*time.Millisecond))
+	ring, err := chord.Build(seed, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(net, ring, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := svc.NewClient("client-0",
+		WithMaxAttempts(16),
+		WithRetryPolicy(ExponentialBackoff{Base: 50 * time.Millisecond, Cap: time.Second}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testStack{net: net, ring: ring, service: svc, client: client}
+}
+
+// TestUpdateSurvivesMessageLoss: with 10% loss the retry machinery must
+// still record updates, and honest members must stay in agreement.
+func TestUpdateSurvivesMessageLoss(t *testing.T) {
+	succeeded := 0
+	for seed := int64(1); seed <= 6; seed++ {
+		st := newLossyStack(t, seed, 0.10, 0)
+		guid := storage.NewGUID("lossy")
+		peers, err := st.service.PeerSet(guid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		for i := 0; i < 3; i++ {
+			if err := st.client.Update(guid, pidOf(fmt.Sprintf("l%d-%d", seed, i))); err != nil {
+				ok = false
+				break
+			}
+		}
+		st.net.Run(0)
+		honestHistoriesAgree(t, st, guid, peers)
+		if ok {
+			succeeded++
+		}
+	}
+	if succeeded < 4 {
+		t.Errorf("only %d/6 seeds completed all updates under 10%% loss", succeeded)
+	}
+}
+
+// TestUpdateSurvivesDuplication: duplicated protocol messages must not
+// corrupt the vote counts (member-level sender deduplication) and must not
+// break agreement.
+func TestUpdateSurvivesDuplication(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		st := newLossyStack(t, seed, 0, 0.3)
+		guid := storage.NewGUID("dup")
+		peers, err := st.service.PeerSet(guid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := st.client.Update(guid, pidOf(fmt.Sprintf("d%d-%d", seed, i))); err != nil {
+				t.Fatalf("seed %d update %d under duplication: %v", seed, i, err)
+			}
+		}
+		st.net.Run(0)
+		honestHistoriesAgree(t, st, guid, peers)
+		h, err := st.client.History(guid)
+		if err != nil {
+			t.Fatalf("seed %d: History: %v", seed, err)
+		}
+		if len(h) != 3 {
+			t.Errorf("seed %d: history length %d, want 3 (duplicates double-counted?)", seed, len(h))
+		}
+	}
+}
+
+// TestUpdateSurvivesLossAndDuplication combines both fault modes.
+func TestUpdateSurvivesLossAndDuplication(t *testing.T) {
+	succeeded := 0
+	for seed := int64(1); seed <= 6; seed++ {
+		st := newLossyStack(t, seed, 0.05, 0.15)
+		guid := storage.NewGUID("chaos")
+		peers, err := st.service.PeerSet(guid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.client.Update(guid, pidOf(fmt.Sprintf("c%d", seed))); err == nil {
+			succeeded++
+		}
+		st.net.Run(0)
+		honestHistoriesAgree(t, st, guid, peers)
+	}
+	if succeeded < 4 {
+		t.Errorf("only %d/6 seeds recorded under combined faults", succeeded)
+	}
+}
+
+// TestPartitionedMemberCatchesUpViaQuorum: a member cut off from the
+// client still converges with the remaining quorum via peer traffic, or at
+// minimum never diverges.
+func TestPartitionedMemberCatchesUp(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		st := newStack(t, seed, 16, 4)
+		guid := storage.NewGUID("cutoff")
+		peers, err := st.service.PeerSet(guid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct := distinctIDs(peers)
+		if len(distinct) < 4 {
+			continue
+		}
+		// Cut the client's link to one member: it must learn of updates
+		// through the other members' votes and commits.
+		st.net.Partition("client-0", distinct[2])
+		if err := st.client.Update(guid, pidOf(fmt.Sprintf("p%d", seed))); err != nil {
+			t.Fatalf("seed %d: update with one partitioned member: %v", seed, err)
+		}
+		st.net.Run(0)
+		honestHistoriesAgree(t, st, guid, peers)
+	}
+}
+
+// TestAbandonTimerFreesSlot: an update that cannot complete (all other
+// members silenced) blocks the slot only until the abandon timeout; a
+// later achievable update must succeed.
+func TestAbandonTimerFreesSlot(t *testing.T) {
+	st := newStack(t, 11, 16, 4, WithAbandonTimeout(100*time.Millisecond))
+	guid := storage.NewGUID("stuck-then-fine")
+	peers, err := st.service.PeerSet(guid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := distinctIDs(peers)
+	if len(distinct) < 4 {
+		t.Skip("peer-set collision on this seed")
+	}
+	// Phase 1: silence everyone but one member; its chosen instance can
+	// never reach quorum.
+	for _, id := range distinct[1:] {
+		if err := st.service.SetBehaviour(id, SilentMember); err != nil {
+			t.Fatal(err)
+		}
+	}
+	impatient, err := st.service.NewClient("impatient",
+		WithMaxAttempts(1), WithRequestTimeout(60*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := impatient.Update(guid, pidOf("doomed")); err == nil {
+		t.Fatal("doomed update succeeded")
+	}
+
+	// Phase 2: restore the members; a new update must be recordable once
+	// the abandoned instance has freed the slot.
+	for _, id := range distinct[1:] {
+		if err := st.service.SetBehaviour(id, HonestMember); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.client.Update(guid, pidOf("fine")); err != nil {
+		t.Fatalf("post-recovery update: %v", err)
+	}
+	st.net.Run(0)
+	honestHistoriesAgree(t, st, guid, peers)
+}

@@ -1,0 +1,378 @@
+package version
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"asagen/internal/commit"
+	"asagen/internal/core"
+	"asagen/internal/runtime"
+	"asagen/internal/simnet"
+	"asagen/internal/storage"
+)
+
+// Behaviour selects how a peer-set member (mis)behaves.
+type Behaviour int
+
+// Member behaviours.
+const (
+	// HonestMember follows the generated protocol.
+	HonestMember Behaviour = iota + 1
+	// SilentMember never participates (fail-stop).
+	SilentMember
+	// EquivocatingMember floods votes and commits for every update it
+	// hears of, attempting to subvert the ordering.
+	EquivocatingMember
+)
+
+// String names the behaviour.
+func (b Behaviour) String() string {
+	switch b {
+	case HonestMember:
+		return "honest"
+	case SilentMember:
+		return "silent"
+	case EquivocatingMember:
+		return "equivocating"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultAbandonTimeout is the member-side liveness timeout: an instance
+// that has not finished after this long is abandoned and its serialisation
+// slot freed, so endpoint retries can make progress after vote-split
+// deadlocks (§2.2).
+const DefaultAbandonTimeout = 250 * time.Millisecond
+
+// guidState is a member's per-GUID protocol state: the running machine
+// instances (one per ongoing update, §3.1), the serialisation slot, and the
+// recorded history.
+type guidState struct {
+	peers      []simnet.NodeID
+	instances  map[UpdateID]*runtime.Instance
+	requesters map[UpdateID][]simnet.NodeID
+	slotFree   bool
+	// slotOwner is the update whose chosen instance holds the slot, valid
+	// when hasSlotOwner is set.
+	slotOwner    UpdateID
+	hasSlotOwner bool
+	history      []storage.PID
+	recorded     map[UpdateID]bool
+	// abandoned tombstones updates whose instance timed out: stale
+	// protocol traffic for them is ignored, preventing vote re-counting.
+	abandoned map[UpdateID]bool
+	// votedBy and committedBy deduplicate per-sender protocol messages:
+	// the machine counts messages and relies on each peer voting and
+	// committing at most once per update.
+	votedBy     map[UpdateID]map[simnet.NodeID]bool
+	committedBy map[UpdateID]map[simnet.NodeID]bool
+}
+
+// Member is one version-service peer-set member: it hosts a machine
+// instance per (GUID, ongoing update) and routes the instances' actions —
+// votes and commits to the other members, free and not_free to its own
+// sibling instances.
+type Member struct {
+	id        simnet.NodeID
+	behaviour Behaviour
+	machine   *core.StateMachine
+	timeout   time.Duration
+	guids     map[storage.GUID]*guidState
+}
+
+var _ simnet.Handler = (*Member)(nil)
+
+// NewMember returns a member executing the given generated machine.
+func NewMember(id simnet.NodeID, machine *core.StateMachine, behaviour Behaviour, timeout time.Duration) *Member {
+	if timeout <= 0 {
+		timeout = DefaultAbandonTimeout
+	}
+	return &Member{
+		id:        id,
+		behaviour: behaviour,
+		machine:   machine,
+		timeout:   timeout,
+		guids:     make(map[storage.GUID]*guidState),
+	}
+}
+
+// ID returns the member's network identity.
+func (m *Member) ID() simnet.NodeID { return m.id }
+
+// Behaviour returns the member's fault model.
+func (m *Member) Behaviour() Behaviour { return m.behaviour }
+
+// History returns the member's recorded version sequence for a GUID.
+func (m *Member) History(guid storage.GUID) []storage.PID {
+	gs, ok := m.guids[guid]
+	if !ok {
+		return nil
+	}
+	return append([]storage.PID(nil), gs.history...)
+}
+
+func (m *Member) state(guid storage.GUID) *guidState {
+	gs, ok := m.guids[guid]
+	if !ok {
+		gs = &guidState{
+			instances:   make(map[UpdateID]*runtime.Instance),
+			requesters:  make(map[UpdateID][]simnet.NodeID),
+			recorded:    make(map[UpdateID]bool),
+			abandoned:   make(map[UpdateID]bool),
+			votedBy:     make(map[UpdateID]map[simnet.NodeID]bool),
+			committedBy: make(map[UpdateID]map[simnet.NodeID]bool),
+			slotFree:    true,
+		}
+		m.guids[guid] = gs
+	}
+	return gs
+}
+
+// HandleMessage implements simnet.Handler.
+func (m *Member) HandleMessage(net *simnet.Network, msg simnet.Message) {
+	switch m.behaviour {
+	case SilentMember:
+		return
+	case EquivocatingMember:
+		m.equivocate(net, msg)
+		return
+	}
+	switch msg.Type {
+	case MsgUpdate:
+		req, ok := msg.Payload.(UpdateRequest)
+		if !ok {
+			return
+		}
+		gs := m.state(req.GUID)
+		m.learnPeers(gs, req.Peers)
+		gs.requesters[req.Update] = appendUnique(gs.requesters[req.Update], req.ReplyTo)
+		if gs.recorded[req.Update] {
+			// Already recorded (e.g. a duplicate request): confirm
+			// immediately.
+			m.confirm(net, req.GUID, gs, req.Update)
+			return
+		}
+		if gs.abandoned[req.Update] {
+			return // this round timed out here; the client will retry
+		}
+		inst := m.instance(net, req.GUID, gs, req.Update)
+		if inst != nil && !inst.Finished() {
+			m.deliver(net, req.GUID, gs, req.Update, commit.MsgUpdate)
+		}
+	case MsgVote:
+		m.protocolMessage(net, msg, commit.MsgVote)
+	case MsgCommit:
+		m.protocolMessage(net, msg, commit.MsgCommit)
+	case MsgHistoryReq:
+		req, ok := msg.Payload.(HistoryRequest)
+		if !ok {
+			return
+		}
+		net.Send(simnet.Message{
+			From: m.id, To: msg.From, Type: MsgHistoryReply,
+			Payload: HistoryReply{ReqID: req.ReqID, GUID: req.GUID, History: m.History(req.GUID)},
+		})
+	}
+}
+
+func (m *Member) protocolMessage(net *simnet.Network, msg simnet.Message, fsmMsg string) {
+	p, ok := msg.Payload.(ProtocolMsg)
+	if !ok {
+		return
+	}
+	gs := m.state(p.GUID)
+	m.learnPeers(gs, p.Peers)
+	if gs.recorded[p.Update] || gs.abandoned[p.Update] {
+		return // stale traffic for a settled update
+	}
+	// Deduplicate per sender: the machine counts vote and commit
+	// messages, so each peer must contribute at most one of each.
+	var dedup map[UpdateID]map[simnet.NodeID]bool
+	if fsmMsg == commit.MsgVote {
+		dedup = gs.votedBy
+	} else {
+		dedup = gs.committedBy
+	}
+	senders, ok := dedup[p.Update]
+	if !ok {
+		senders = make(map[simnet.NodeID]bool)
+		dedup[p.Update] = senders
+	}
+	if senders[msg.From] {
+		return
+	}
+	senders[msg.From] = true
+	if inst := m.instance(net, p.GUID, gs, p.Update); inst != nil && !inst.Finished() {
+		m.deliver(net, p.GUID, gs, p.Update, fsmMsg)
+	}
+}
+
+func (m *Member) learnPeers(gs *guidState, peers []simnet.NodeID) {
+	if len(gs.peers) == 0 && len(peers) > 0 {
+		gs.peers = append([]simnet.NodeID(nil), peers...)
+	}
+}
+
+// instance returns the machine instance for an update, creating it when
+// first referenced: a new instance starts in the machine's not-free start
+// state and receives a FREE message at once when the member's slot is
+// open.
+func (m *Member) instance(net *simnet.Network, guid storage.GUID, gs *guidState, u UpdateID) *runtime.Instance {
+	if inst, ok := gs.instances[u]; ok {
+		return inst
+	}
+	inst, err := runtime.New(m.machine, runtime.ActionFunc(func(action string) {
+		m.act(net, guid, gs, u, action)
+	}))
+	if err != nil {
+		// The machine definition is validated at service construction; a
+		// failure here is a programming error surfaced loudly.
+		panic(fmt.Sprintf("version: new instance: %v", err))
+	}
+	gs.instances[u] = inst
+	net.After(m.timeout, func() { m.abandon(net, guid, gs, u) })
+	if gs.slotFree {
+		m.deliver(net, guid, gs, u, commit.MsgFree)
+	}
+	return inst
+}
+
+// deliver feeds one protocol message to an instance, then handles
+// completion: a finished instance's update is appended to the history and
+// confirmed to its requesters.
+func (m *Member) deliver(net *simnet.Network, guid storage.GUID, gs *guidState, u UpdateID, fsmMsg string) {
+	inst, ok := gs.instances[u]
+	if !ok || inst.Finished() {
+		return
+	}
+	_, err := inst.Deliver(fsmMsg)
+	if err != nil {
+		return // not applicable in the current state: ignored
+	}
+	if inst.Finished() && !gs.recorded[u] {
+		gs.recorded[u] = true
+		gs.history = append(gs.history, u.PID)
+		delete(gs.instances, u)
+		m.confirm(net, guid, gs, u)
+	}
+}
+
+func (m *Member) confirm(net *simnet.Network, guid storage.GUID, gs *guidState, u UpdateID) {
+	index := len(gs.history) - 1
+	for i, pid := range gs.history {
+		if pid == u.PID {
+			index = i
+			break
+		}
+	}
+	for _, client := range gs.requesters[u] {
+		net.Send(simnet.Message{
+			From: m.id, To: client, Type: MsgRecorded,
+			Payload: Recorded{GUID: guid, Update: u, Index: index},
+		})
+	}
+}
+
+// act routes one machine action: votes and commits go to the other peer-set
+// members; free and not_free go to the member's sibling instances for the
+// same GUID.
+func (m *Member) act(net *simnet.Network, guid storage.GUID, gs *guidState, u UpdateID, action string) {
+	switch action {
+	case commit.ActSendVote, commit.ActSendCommit:
+		msgType := MsgVote
+		if action == commit.ActSendCommit {
+			msgType = MsgCommit
+		}
+		payload := ProtocolMsg{GUID: guid, Update: u, Peers: gs.peers}
+		for _, peer := range gs.peers {
+			if peer == m.id {
+				continue
+			}
+			net.Send(simnet.Message{From: m.id, To: peer, Type: msgType, Payload: payload})
+		}
+	case commit.ActSendNotFree:
+		gs.slotFree = false
+		gs.slotOwner = u
+		gs.hasSlotOwner = true
+		m.tellSiblings(net, guid, gs, u, commit.MsgNotFree)
+	case commit.ActSendFree:
+		gs.slotFree = true
+		gs.hasSlotOwner = false
+		m.tellSiblings(net, guid, gs, u, commit.MsgFree)
+	}
+}
+
+// tellSiblings delivers a local free/not_free notification to every other
+// live instance for the GUID, in deterministic order.
+func (m *Member) tellSiblings(net *simnet.Network, guid storage.GUID, gs *guidState, from UpdateID, fsmMsg string) {
+	ids := make([]UpdateID, 0, len(gs.instances))
+	for id := range gs.instances {
+		if id != from {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	for _, id := range ids {
+		if !gs.slotFree && fsmMsg == commit.MsgFree {
+			return // a sibling claimed the slot while we were iterating
+		}
+		m.deliver(net, guid, gs, id, fsmMsg)
+	}
+}
+
+// abandon implements the member-side liveness timeout: an unfinished
+// instance is discarded and, if it held the serialisation slot, the slot is
+// freed so queued updates can proceed.
+func (m *Member) abandon(net *simnet.Network, guid storage.GUID, gs *guidState, u UpdateID) {
+	inst, ok := gs.instances[u]
+	if !ok || inst.Finished() {
+		return
+	}
+	delete(gs.instances, u)
+	gs.abandoned[u] = true
+	// Free the serialisation slot only if this instance's chosen update
+	// held it; freeing another instance's slot would let the member
+	// choose two concurrent updates.
+	if !gs.slotFree && gs.hasSlotOwner && gs.slotOwner == u {
+		gs.slotFree = true
+		gs.hasSlotOwner = false
+		m.tellSiblings(net, guid, gs, u, commit.MsgFree)
+	}
+}
+
+// equivocate implements the Byzantine flooder: every update it hears about
+// receives an immediate vote and commit, broadcast to the whole peer set.
+func (m *Member) equivocate(net *simnet.Network, msg simnet.Message) {
+	var guid storage.GUID
+	var u UpdateID
+	var peers []simnet.NodeID
+	switch p := msg.Payload.(type) {
+	case UpdateRequest:
+		guid, u, peers = p.GUID, p.Update, p.Peers
+	case ProtocolMsg:
+		guid, u, peers = p.GUID, p.Update, p.Peers
+	default:
+		return
+	}
+	gs := m.state(guid)
+	m.learnPeers(gs, peers)
+	payload := ProtocolMsg{GUID: guid, Update: u, Peers: gs.peers}
+	for _, peer := range gs.peers {
+		if peer == m.id {
+			continue
+		}
+		net.Send(simnet.Message{From: m.id, To: peer, Type: MsgVote, Payload: payload})
+		net.Send(simnet.Message{From: m.id, To: peer, Type: MsgCommit, Payload: payload})
+	}
+}
+
+func appendUnique(ids []simnet.NodeID, id simnet.NodeID) []simnet.NodeID {
+	for _, existing := range ids {
+		if existing == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}

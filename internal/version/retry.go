@@ -1,0 +1,79 @@
+package version
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy decides how long the endpoint waits before re-attempting an
+// update that timed out — the timeout/retry scheme §2.2 calls for, since
+// concurrent updates can deadlock without any reaching the vote threshold.
+type RetryPolicy interface {
+	// Delay returns the wait before the given attempt (1-based).
+	Delay(attempt int, rng *rand.Rand) time.Duration
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// FixedBackoff waits a constant interval between attempts.
+type FixedBackoff struct {
+	// Interval is the constant retry delay.
+	Interval time.Duration
+}
+
+var _ RetryPolicy = FixedBackoff{}
+
+// Delay implements RetryPolicy.
+func (p FixedBackoff) Delay(int, *rand.Rand) time.Duration { return p.Interval }
+
+// Name implements RetryPolicy.
+func (p FixedBackoff) Name() string { return "fixed" }
+
+// RandomBackoff waits a uniformly random interval up to Max, decorrelating
+// competing endpoints.
+type RandomBackoff struct {
+	// Max bounds the random retry delay.
+	Max time.Duration
+}
+
+var _ RetryPolicy = RandomBackoff{}
+
+// Delay implements RetryPolicy.
+func (p RandomBackoff) Delay(_ int, rng *rand.Rand) time.Duration {
+	if p.Max <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(p.Max)) + 1)
+}
+
+// Name implements RetryPolicy.
+func (p RandomBackoff) Name() string { return "random" }
+
+// ExponentialBackoff doubles a jittered base delay each attempt, capped.
+type ExponentialBackoff struct {
+	// Base is the first-attempt delay.
+	Base time.Duration
+	// Cap bounds the delay growth.
+	Cap time.Duration
+}
+
+var _ RetryPolicy = ExponentialBackoff{}
+
+// Delay implements RetryPolicy.
+func (p ExponentialBackoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	d := p.Base
+	for i := 1; i < attempt && d < p.Cap; i++ {
+		d *= 2
+	}
+	if p.Cap > 0 && d > p.Cap {
+		d = p.Cap
+	}
+	if d <= 0 {
+		return 0
+	}
+	// Full jitter: uniform in (0, d], avoiding synchronised retries.
+	return time.Duration(rng.Int63n(int64(d)) + 1)
+}
+
+// Name implements RetryPolicy.
+func (p ExponentialBackoff) Name() string { return "exponential" }

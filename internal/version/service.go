@@ -1,0 +1,362 @@
+package version
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"asagen/internal/chord"
+	"asagen/internal/commit"
+	"asagen/internal/core"
+	"asagen/internal/simnet"
+	"asagen/internal/storage"
+)
+
+// Errors returned by the version service endpoint.
+var (
+	// ErrUpdateFailed reports an append that exhausted its retry budget
+	// without f+1 members confirming the record.
+	ErrUpdateFailed = errors.New("version: update not recorded")
+	// ErrNoQuorum reports a read for which no value was returned
+	// consistently by at least f+1 members.
+	ErrNoQuorum = errors.New("version: no f+1 consistent replies")
+)
+
+// Service wires the version history layer onto a simulated network and
+// routing overlay: one Member per overlay node, executing machines
+// generated from the commit abstract model for the configured replication
+// factor.
+type Service struct {
+	net     *simnet.Network
+	ring    *chord.Ring
+	machine *core.StateMachine
+	members map[simnet.NodeID]*Member
+	r       int
+	f       int
+	timeout time.Duration
+}
+
+// ServiceOption configures a Service.
+type ServiceOption func(*Service)
+
+// WithAbandonTimeout sets the member-side instance abandonment timeout.
+func WithAbandonTimeout(d time.Duration) ServiceOption {
+	return func(s *Service) { s.timeout = d }
+}
+
+// NewService generates the commit machine for the replication factor and
+// installs an honest member on every overlay node.
+func NewService(net *simnet.Network, ring *chord.Ring, replicationFactor int, opts ...ServiceOption) (*Service, error) {
+	model, err := commit.NewModel(replicationFactor)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := core.Generate(model, core.WithoutDescriptions())
+	if err != nil {
+		return nil, fmt.Errorf("version: generate machine: %w", err)
+	}
+	s := &Service{
+		net:     net,
+		ring:    ring,
+		machine: machine,
+		members: make(map[simnet.NodeID]*Member),
+		r:       replicationFactor,
+		f:       model.FaultTolerance(),
+		timeout: DefaultAbandonTimeout,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	for _, n := range ring.Nodes() {
+		id := simnet.NodeID(n.Name())
+		member := NewMember(id, machine, HonestMember, s.timeout)
+		s.members[id] = member
+		if err := net.AddNode(id, member); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Machine returns the generated machine members execute.
+func (s *Service) Machine() *core.StateMachine { return s.machine }
+
+// ReplicationFactor returns r.
+func (s *Service) ReplicationFactor() int { return s.r }
+
+// FaultTolerance returns f.
+func (s *Service) FaultTolerance() int { return s.f }
+
+// Member returns the member hosted on the given node.
+func (s *Service) Member(id simnet.NodeID) *Member { return s.members[id] }
+
+// Members returns all members in ID order.
+func (s *Service) Members() []*Member {
+	ids := make([]string, 0, len(s.members))
+	for id := range s.members {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	out := make([]*Member, len(ids))
+	for i, id := range ids {
+		out[i] = s.members[simnet.NodeID(id)]
+	}
+	return out
+}
+
+// SetBehaviour replaces the fault model of the member on the given node.
+func (s *Service) SetBehaviour(id simnet.NodeID, b Behaviour) error {
+	m, ok := s.members[id]
+	if !ok {
+		return fmt.Errorf("version: no member %s", id)
+	}
+	m.behaviour = b
+	return nil
+}
+
+// PeerSet locates the GUID's peer set: the owners of its replica keys.
+func (s *Service) PeerSet(guid storage.GUID) ([]simnet.NodeID, error) {
+	keys := storage.KeysForGUID(guid, s.r)
+	ids := make([]simnet.NodeID, 0, len(keys))
+	for _, key := range keys {
+		from, err := s.ring.RandomNode()
+		if err != nil {
+			return nil, err
+		}
+		owner, _, err := from.FindSuccessor(key)
+		if err != nil {
+			return nil, fmt.Errorf("version: locate peer set: %w", err)
+		}
+		ids = append(ids, simnet.NodeID(owner.Name()))
+	}
+	return ids, nil
+}
+
+// Client is a version-service endpoint: it issues append requests to the
+// peer set and reads histories with f+1 agreement.
+type Client struct {
+	id      simnet.NodeID
+	service *Service
+	retry   RetryPolicy
+	// maxAttempts bounds the append retry loop.
+	maxAttempts int
+	// requestTimeout bounds one append attempt in virtual time.
+	requestTimeout time.Duration
+
+	nextReq   uint64
+	confirms  map[UpdateID]map[simnet.NodeID]bool
+	histories map[uint64]map[simnet.NodeID][]storage.PID
+	// Attempts records how many protocol rounds the last Update needed.
+	Attempts int
+}
+
+var _ simnet.Handler = (*Client)(nil)
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetryPolicy selects the back-off scheme (default: exponential).
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithMaxAttempts bounds the append retry loop (default 8).
+func WithMaxAttempts(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxAttempts = n
+		}
+	}
+}
+
+// WithRequestTimeout bounds one append attempt in virtual time.
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.requestTimeout = d
+		}
+	}
+}
+
+// NewClient registers a version-service client on the network.
+func (s *Service) NewClient(id simnet.NodeID, opts ...ClientOption) (*Client, error) {
+	c := &Client{
+		id:             id,
+		service:        s,
+		retry:          ExponentialBackoff{Base: 50 * time.Millisecond, Cap: 2 * time.Second},
+		maxAttempts:    8,
+		requestTimeout: 400 * time.Millisecond,
+		confirms:       make(map[UpdateID]map[simnet.NodeID]bool),
+		histories:      make(map[uint64]map[simnet.NodeID][]storage.PID),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if err := s.net.AddNode(id, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// HandleMessage implements simnet.Handler.
+func (c *Client) HandleMessage(_ *simnet.Network, msg simnet.Message) {
+	switch msg.Type {
+	case MsgRecorded:
+		rec, ok := msg.Payload.(Recorded)
+		if !ok {
+			return
+		}
+		if confirms, pending := c.confirms[rec.Update]; pending {
+			confirms[msg.From] = true
+		}
+	case MsgHistoryReply:
+		reply, ok := msg.Payload.(HistoryReply)
+		if !ok {
+			return
+		}
+		if replies, pending := c.histories[reply.ReqID]; pending {
+			replies[msg.From] = reply.History
+		}
+	}
+}
+
+// Update appends a new version to the GUID's history: the request is sent
+// to every peer-set member, and the append completes once f+1 members have
+// confirmed recording it. Attempts that time out are retried under the
+// client's back-off policy with a fresh protocol round.
+func (c *Client) Update(guid storage.GUID, pid storage.PID) error {
+	peers, err := c.service.PeerSet(guid)
+	if err != nil {
+		return err
+	}
+	need := c.service.f + 1
+
+	for attempt := 1; attempt <= c.maxAttempts; attempt++ {
+		c.Attempts = attempt
+		u := UpdateID{PID: pid, Attempt: attempt}
+		confirms := make(map[simnet.NodeID]bool)
+		c.confirms[u] = confirms
+
+		sent := map[simnet.NodeID]bool{}
+		for _, peer := range peers {
+			if sent[peer] {
+				continue
+			}
+			sent[peer] = true
+			c.service.net.Send(simnet.Message{
+				From: c.id, To: peer, Type: MsgUpdate,
+				Payload: UpdateRequest{GUID: guid, Update: u, Peers: peers, ReplyTo: c.id},
+			})
+		}
+
+		deadline := c.service.net.Now() + c.requestTimeout
+		done := c.service.net.RunUntil(func() bool {
+			return len(confirms) >= need || c.service.net.Now() > deadline
+		}, 0)
+		recorded := len(confirms) >= need
+		delete(c.confirms, u)
+		if recorded {
+			return nil
+		}
+		_ = done
+
+		// Back off before the next round; in virtual time this advances
+		// the clock so member abandon timers fire and slots free up.
+		delay := c.retry.Delay(attempt, c.service.net.Rand())
+		waitUntil := c.service.net.Now() + delay
+		idle := false
+		c.service.net.After(delay, func() { idle = true })
+		c.service.net.RunUntil(func() bool { return idle || c.service.net.Now() >= waitUntil }, 0)
+	}
+	return fmt.Errorf("%w: %s after %d attempts", ErrUpdateFailed, pid.Short(), c.maxAttempts)
+}
+
+// History reads the GUID's version sequence: every peer-set member is
+// asked, and the longest history returned identically by at least f+1
+// members is selected (§2.2's consistent-read rule, applied to the whole
+// sequence).
+func (c *Client) History(guid storage.GUID) ([]storage.PID, error) {
+	peers, err := c.service.PeerSet(guid)
+	if err != nil {
+		return nil, err
+	}
+	c.nextReq++
+	reqID := c.nextReq
+	replies := make(map[simnet.NodeID][]storage.PID)
+	c.histories[reqID] = replies
+	defer delete(c.histories, reqID)
+
+	sent := map[simnet.NodeID]bool{}
+	for _, peer := range peers {
+		if sent[peer] {
+			continue
+		}
+		sent[peer] = true
+		c.service.net.Send(simnet.Message{
+			From: c.id, To: peer, Type: MsgHistoryReq,
+			Payload: HistoryRequest{ReqID: reqID, GUID: guid},
+		})
+	}
+	deadline := c.service.net.Now() + c.requestTimeout
+	c.service.net.RunUntil(func() bool {
+		return len(replies) >= len(sent) || c.service.net.Now() > deadline
+	}, 0)
+
+	need := c.service.f + 1
+	counts := make(map[string]int)
+	values := make(map[string][]storage.PID)
+	for _, h := range replies {
+		key := historyKey(h)
+		counts[key]++
+		values[key] = h
+	}
+	var best []storage.PID
+	found := false
+	for key, n := range counts {
+		if n >= need {
+			v := values[key]
+			if !found || len(v) > len(best) {
+				best = v
+				found = true
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: guid %s", ErrNoQuorum, guid.Short())
+	}
+	return append([]storage.PID(nil), best...), nil
+}
+
+// GetVersion returns the version at the given history index, under the
+// same f+1 agreement rule.
+func (c *Client) GetVersion(guid storage.GUID, index int) (storage.PID, error) {
+	h, err := c.History(guid)
+	if err != nil {
+		return storage.PID{}, err
+	}
+	if index < 0 || index >= len(h) {
+		return storage.PID{}, fmt.Errorf("version: index %d out of range (history length %d)", index, len(h))
+	}
+	return h[index], nil
+}
+
+// Latest returns the most recent version, under the f+1 agreement rule.
+func (c *Client) Latest(guid storage.GUID) (storage.PID, error) {
+	h, err := c.History(guid)
+	if err != nil {
+		return storage.PID{}, err
+	}
+	if len(h) == 0 {
+		return storage.PID{}, fmt.Errorf("version: empty history for %s", guid.Short())
+	}
+	return h[len(h)-1], nil
+}
+
+func historyKey(h []storage.PID) string {
+	b := make([]byte, 0, len(h)*20)
+	for _, pid := range h {
+		b = append(b, pid[:]...)
+	}
+	return string(b)
+}

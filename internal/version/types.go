@@ -1,0 +1,105 @@
+// Package version implements the version history service of §2.2: each
+// GUID maps to an agreed, append-only sequence of PIDs, replicated on the
+// peer set of nodes that own the GUID's replica keys. Appending a version
+// is an update, so the members execute the Byzantine-fault-tolerant commit
+// protocol among themselves — the machines generated from the abstract
+// model in package commit — and only complete once the next version is
+// agreed.
+//
+// The paper notes the protocol may deadlock under contention and leaves
+// the recovery scheme open ("various schemes such as random or exponential
+// back-off ... could be used"); this implementation supplies both halves:
+// members abandon instances that fail to finish within a timeout (freeing
+// the serialisation slot), and the service endpoint retries with a
+// pluggable back-off policy.
+package version
+
+import (
+	"fmt"
+
+	"asagen/internal/simnet"
+	"asagen/internal/storage"
+)
+
+// UpdateID identifies one attempt to append a version: the PID being
+// recorded plus the endpoint's attempt number, so a retry after an
+// abandoned round is a fresh protocol instance.
+type UpdateID struct {
+	// PID is the version being appended.
+	PID storage.PID
+	// Attempt distinguishes protocol rounds for the same PID.
+	Attempt int
+}
+
+// String renders the update id for logs.
+func (u UpdateID) String() string {
+	return fmt.Sprintf("%s#%d", u.PID.Short(), u.Attempt)
+}
+
+// Message types exchanged by the version service.
+const (
+	// MsgUpdate is the client's append request to a peer-set member.
+	MsgUpdate = "version.update"
+	// MsgVote is a peer-set member's vote for an update.
+	MsgVote = "version.vote"
+	// MsgCommit is a peer-set member's commit for an update.
+	MsgCommit = "version.commit"
+	// MsgRecorded tells the requesting client a member has recorded the
+	// update in its history.
+	MsgRecorded = "version.recorded"
+	// MsgHistoryReq asks a member for its recorded history of a GUID.
+	MsgHistoryReq = "version.history_req"
+	// MsgHistoryReply returns a member's recorded history.
+	MsgHistoryReply = "version.history_reply"
+)
+
+// UpdateRequest is the payload of MsgUpdate.
+type UpdateRequest struct {
+	// GUID selects the version history.
+	GUID storage.GUID
+	// Update is the version append attempt.
+	Update UpdateID
+	// Peers is the peer set for the GUID, located by the endpoint.
+	Peers []simnet.NodeID
+	// ReplyTo receives the MsgRecorded confirmation.
+	ReplyTo simnet.NodeID
+}
+
+// ProtocolMsg is the payload of MsgVote and MsgCommit.
+type ProtocolMsg struct {
+	// GUID selects the version history.
+	GUID storage.GUID
+	// Update is the subject of the vote or commit.
+	Update UpdateID
+	// Peers propagates the peer set to members that have not yet heard
+	// of the GUID.
+	Peers []simnet.NodeID
+}
+
+// Recorded is the payload of MsgRecorded.
+type Recorded struct {
+	// GUID selects the version history.
+	GUID storage.GUID
+	// Update is the recorded append attempt.
+	Update UpdateID
+	// Index is the position the update received in the member's history.
+	Index int
+}
+
+// HistoryRequest is the payload of MsgHistoryReq.
+type HistoryRequest struct {
+	// ReqID correlates the reply.
+	ReqID uint64
+	// GUID selects the version history.
+	GUID storage.GUID
+}
+
+// HistoryReply is the payload of MsgHistoryReply.
+type HistoryReply struct {
+	// ReqID echoes the request.
+	ReqID uint64
+	// GUID echoes the history identity.
+	GUID storage.GUID
+	// History is the member's recorded sequence of PIDs.
+	History []storage.PID
+}

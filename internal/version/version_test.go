@@ -1,0 +1,391 @@
+package version
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"asagen/internal/chord"
+	"asagen/internal/simnet"
+	"asagen/internal/storage"
+)
+
+// testStack wires a ring, network, service and client together.
+type testStack struct {
+	net     *simnet.Network
+	ring    *chord.Ring
+	service *Service
+	client  *Client
+}
+
+func newStack(t *testing.T, seed int64, nodes, replication int, opts ...ServiceOption) *testStack {
+	t.Helper()
+	net := simnet.New(seed)
+	ring, err := chord.Build(seed, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(net, ring, replication, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := svc.NewClient("client-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testStack{net: net, ring: ring, service: svc, client: client}
+}
+
+func pidOf(s string) storage.PID { return storage.ComputePID([]byte(s)) }
+
+func TestSingleUpdateRecorded(t *testing.T) {
+	st := newStack(t, 1, 16, 4)
+	guid := storage.NewGUID("file")
+	pid := pidOf("v1")
+	if err := st.client.Update(guid, pid); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if st.client.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (no contention)", st.client.Attempts)
+	}
+	st.net.Run(0)
+
+	h, err := st.client.History(guid)
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if len(h) != 1 || h[0] != pid {
+		t.Errorf("history = %v", h)
+	}
+	latest, err := st.client.Latest(guid)
+	if err != nil || latest != pid {
+		t.Errorf("Latest = %v, %v", latest, err)
+	}
+}
+
+func TestSequentialUpdatesOrdered(t *testing.T) {
+	st := newStack(t, 2, 16, 4)
+	guid := storage.NewGUID("doc")
+	var want []storage.PID
+	for i := 0; i < 5; i++ {
+		pid := pidOf(fmt.Sprintf("v%d", i))
+		want = append(want, pid)
+		if err := st.client.Update(guid, pid); err != nil {
+			t.Fatalf("Update %d: %v", i, err)
+		}
+	}
+	st.net.Run(0)
+	h, err := st.client.History(guid)
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if len(h) != len(want) {
+		t.Fatalf("history length = %d, want %d", len(h), len(want))
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("history[%d] = %s, want %s", i, h[i].Short(), want[i].Short())
+		}
+	}
+}
+
+// honestHistoriesAgree asserts the core safety property: any two honest
+// peer-set members record histories where one is a prefix of the other.
+func honestHistoriesAgree(t *testing.T, st *testStack, guid storage.GUID, peers []simnet.NodeID) {
+	t.Helper()
+	seen := map[simnet.NodeID]bool{}
+	var histories [][]storage.PID
+	var owners []simnet.NodeID
+	for _, id := range peers {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		m := st.service.Member(id)
+		if m == nil || m.Behaviour() != HonestMember {
+			continue
+		}
+		histories = append(histories, m.History(guid))
+		owners = append(owners, id)
+	}
+	for i := 0; i < len(histories); i++ {
+		for j := i + 1; j < len(histories); j++ {
+			a, b := histories[i], histories[j]
+			if len(a) > len(b) {
+				a, b = b, a
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("members %s and %s diverge at %d: %s vs %s",
+						owners[i], owners[j], k, histories[i][k].Short(), histories[j][k].Short())
+				}
+			}
+		}
+	}
+}
+
+func TestConcurrentClientsAgreeOnOrder(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		st := newStack(t, seed, 16, 4)
+		guid := storage.NewGUID("contended")
+		peers, err := st.service.PeerSet(guid)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		c2, err := st.service.NewClient("client-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Interleave: both clients issue updates; because Update drives
+		// the shared network, contention arises within each call's
+		// traffic plus the stale messages of the other's previous calls.
+		for i := 0; i < 3; i++ {
+			if err := st.client.Update(guid, pidOf(fmt.Sprintf("a%d-%d", seed, i))); err != nil {
+				t.Fatalf("seed %d client a update %d: %v", seed, i, err)
+			}
+			if err := c2.Update(guid, pidOf(fmt.Sprintf("b%d-%d", seed, i))); err != nil {
+				t.Fatalf("seed %d client b update %d: %v", seed, i, err)
+			}
+		}
+		st.net.Run(0)
+		honestHistoriesAgree(t, st, guid, peers)
+	}
+}
+
+// TestTrueConcurrentUpdates injects two competing updates into the network
+// simultaneously before driving it, exercising vote splits and the
+// abandon/retry recovery path.
+func TestTrueConcurrentUpdates(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		st := newStack(t, seed, 16, 4)
+		guid := storage.NewGUID("race")
+		peers, err := st.service.PeerSet(guid)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Inject both update requests directly, without waiting.
+		for _, tag := range []string{"left", "right"} {
+			u := UpdateID{PID: pidOf(tag + fmt.Sprint(seed)), Attempt: 1}
+			sent := map[simnet.NodeID]bool{}
+			for _, peer := range peers {
+				if sent[peer] {
+					continue
+				}
+				sent[peer] = true
+				st.net.Send(simnet.Message{
+					From: "client-0", To: peer, Type: MsgUpdate,
+					Payload: UpdateRequest{GUID: guid, Update: u, Peers: peers, ReplyTo: "client-0"},
+				})
+			}
+		}
+		st.net.Run(200000)
+		honestHistoriesAgree(t, st, guid, peers)
+	}
+}
+
+func TestByzantineSilentMember(t *testing.T) {
+	recorded := 0
+	for seed := int64(1); seed <= 8; seed++ {
+		st := newStack(t, seed, 16, 4)
+		guid := storage.NewGUID("partial")
+		peers, err := st.service.PeerSet(guid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct := distinctIDs(peers)
+		if len(distinct) < 4 {
+			continue // tiny ring collision: peer set not BFT-capable
+		}
+		// Silence one peer-set member (f = 1).
+		if err := st.service.SetBehaviour(distinct[0], SilentMember); err != nil {
+			t.Fatal(err)
+		}
+		pid := pidOf(fmt.Sprintf("v-%d", seed))
+		if err := st.client.Update(guid, pid); err != nil {
+			t.Fatalf("seed %d: update with one silent member: %v", seed, err)
+		}
+		st.net.Run(0)
+		honestHistoriesAgree(t, st, guid, peers)
+		h, err := st.client.History(guid)
+		if err != nil {
+			t.Fatalf("seed %d: History: %v", seed, err)
+		}
+		if len(h) == 1 && h[0] == pid {
+			recorded++
+		}
+	}
+	if recorded == 0 {
+		t.Error("no seed produced a readable history with a silent member")
+	}
+}
+
+func TestByzantineEquivocatingMember(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		st := newStack(t, seed, 16, 4)
+		guid := storage.NewGUID("hostile")
+		peers, err := st.service.PeerSet(guid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct := distinctIDs(peers)
+		if len(distinct) < 4 {
+			continue
+		}
+		if err := st.service.SetBehaviour(distinct[1], EquivocatingMember); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			pid := pidOf(fmt.Sprintf("e%d-%d", seed, i))
+			if err := st.client.Update(guid, pid); err != nil {
+				t.Fatalf("seed %d update %d with equivocator: %v", seed, i, err)
+			}
+		}
+		st.net.Run(0)
+		// Safety: honest members still agree on one order.
+		honestHistoriesAgree(t, st, guid, peers)
+	}
+}
+
+func TestUpdateFailsWhenQuorumImpossible(t *testing.T) {
+	st := newStack(t, 5, 16, 4)
+	guid := storage.NewGUID("dead")
+	peers, err := st.service.PeerSet(guid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Silence every peer-set member: no quorum can form.
+	for _, id := range distinctIDs(peers) {
+		if err := st.service.SetBehaviour(id, SilentMember); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client, err := st.service.NewClient("impatient",
+		WithMaxAttempts(2), WithRequestTimeout(50*time.Millisecond),
+		WithRetryPolicy(FixedBackoff{Interval: 10 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Update(guid, pidOf("x")); !errors.Is(err, ErrUpdateFailed) {
+		t.Errorf("Update = %v, want ErrUpdateFailed", err)
+	}
+	if _, err := client.History(guid); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("History = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestRetryPolicies(t *testing.T) {
+	policies := []RetryPolicy{
+		FixedBackoff{Interval: 20 * time.Millisecond},
+		RandomBackoff{Max: 40 * time.Millisecond},
+		ExponentialBackoff{Base: 10 * time.Millisecond, Cap: 100 * time.Millisecond},
+	}
+	for _, p := range policies {
+		t.Run(p.Name(), func(t *testing.T) {
+			st := newStack(t, 7, 16, 4)
+			client, err := st.service.NewClient("retry-client", WithRetryPolicy(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			guid := storage.NewGUID("retry-" + p.Name())
+			for i := 0; i < 3; i++ {
+				if err := client.Update(guid, pidOf(fmt.Sprintf("%s-%d", p.Name(), i))); err != nil {
+					t.Fatalf("update %d: %v", i, err)
+				}
+			}
+			st.net.Run(0)
+			h, err := client.History(guid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(h) != 3 {
+				t.Errorf("history length = %d, want 3", len(h))
+			}
+		})
+	}
+}
+
+func TestRetryDelayProperties(t *testing.T) {
+	rng := simnet.New(1).Rand()
+	fixed := FixedBackoff{Interval: 5 * time.Millisecond}
+	for i := 1; i < 5; i++ {
+		if fixed.Delay(i, rng) != 5*time.Millisecond {
+			t.Error("fixed delay not constant")
+		}
+	}
+	random := RandomBackoff{Max: 10 * time.Millisecond}
+	for i := 0; i < 100; i++ {
+		d := random.Delay(1, rng)
+		if d <= 0 || d > 10*time.Millisecond {
+			t.Fatalf("random delay %v out of range", d)
+		}
+	}
+	if (RandomBackoff{}).Delay(1, rng) != 0 {
+		t.Error("zero-max random backoff should be 0")
+	}
+	exp := ExponentialBackoff{Base: 4 * time.Millisecond, Cap: 16 * time.Millisecond}
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := exp.Delay(attempt, rng)
+		if d <= 0 || d > 16*time.Millisecond {
+			t.Fatalf("exponential delay %v out of range at attempt %d", d, attempt)
+		}
+	}
+}
+
+func TestGetVersionBounds(t *testing.T) {
+	st := newStack(t, 9, 16, 4)
+	guid := storage.NewGUID("indexed")
+	pid := pidOf("only")
+	if err := st.client.Update(guid, pid); err != nil {
+		t.Fatal(err)
+	}
+	st.net.Run(0)
+	got, err := st.client.GetVersion(guid, 0)
+	if err != nil || got != pid {
+		t.Errorf("GetVersion(0) = %v, %v", got, err)
+	}
+	if _, err := st.client.GetVersion(guid, 5); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := st.client.GetVersion(guid, -1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestBehaviourStrings(t *testing.T) {
+	tests := []struct {
+		b    Behaviour
+		want string
+	}{
+		{HonestMember, "honest"}, {SilentMember, "silent"},
+		{EquivocatingMember, "equivocating"}, {Behaviour(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.b.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestUpdateIDString(t *testing.T) {
+	u := UpdateID{PID: pidOf("x"), Attempt: 3}
+	s := u.String()
+	if len(s) == 0 || s[len(s)-1] != '3' {
+		t.Errorf("UpdateID.String() = %q", s)
+	}
+}
+
+func distinctIDs(ids []simnet.NodeID) []simnet.NodeID {
+	seen := map[simnet.NodeID]bool{}
+	var out []simnet.NodeID
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
