@@ -64,6 +64,44 @@ func BenchmarkGenerateTable1(b *testing.B) {
 	}
 }
 
+// BenchmarkGenerateFrontier is the E12 scalability series: the default
+// reachability-first frontier exploration against the legacy
+// full-enumeration pipeline (WithoutPruning) at large commit parameters,
+// plus the parallel frontier expansion. Merging is disabled on both sides
+// so the comparison isolates exploration cost; the reachable-state count is
+// reported to make the visited-set reduction visible.
+func BenchmarkGenerateFrontier(b *testing.B) {
+	for _, r := range []int{8, 10, 12} {
+		model, err := commit.NewModel(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		configs := []struct {
+			name string
+			opts []core.Option
+		}{
+			{"frontier", nil},
+			{"frontier-workers-4", []core.Option{core.WithWorkers(4)}},
+			{"legacy-enumerate", []core.Option{core.WithoutPruning()}},
+		}
+		for _, cfg := range configs {
+			b.Run(fmt.Sprintf("r=%d/%s", r, cfg.name), func(b *testing.B) {
+				opts := append([]core.Option{core.WithoutDescriptions(), core.WithoutMerging()}, cfg.opts...)
+				var machine *core.StateMachine
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					machine, err = core.Generate(model, opts...)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(machine.Stats.InitialStates), "initial-states")
+				b.ReportMetric(float64(len(machine.States)), "visited-states")
+			})
+		}
+	}
+}
+
 // BenchmarkPipelineStages is the E11 ablation: generation cost without
 // pruning, without merging, and full, on the redundant reading whose
 // machines actually shrink under merging.

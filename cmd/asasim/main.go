@@ -2,17 +2,23 @@
 // overlay, replicated block storage, and the version-history service whose
 // peer sets execute the generated BFT commit machines. It stores a sequence
 // of file versions — optionally with Byzantine peers and concurrent clients
-// — and reports protocol statistics.
+// — and reports protocol statistics. The -model flag selects which
+// commit-vocabulary model from the registry generates the peer-set
+// machines (commit or commit-redundant).
 //
 //	asasim -nodes 32 -r 4 -updates 5 -byzantine 1 -seed 7
+//	asasim -model commit-redundant -updates 3
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"asagen/internal/chord"
+	"asagen/internal/core"
+	"asagen/internal/models"
 	"asagen/internal/simnet"
 	"asagen/internal/storage"
 	"asagen/internal/version"
@@ -30,6 +36,7 @@ func run(args []string) error {
 	var (
 		nodes     = fs.Int("nodes", 32, "overlay size")
 		r         = fs.Int("r", 4, "replication factor")
+		modelName = fs.String("model", "commit", "peer-set machine model: "+strings.Join(models.Names(), ", "))
 		updates   = fs.Int("updates", 5, "file versions to commit")
 		byzantine = fs.Int("byzantine", 0, "peer-set members to make Byzantine (silent)")
 		seed      = fs.Int64("seed", 1, "simulation seed")
@@ -39,12 +46,21 @@ func run(args []string) error {
 		return err
 	}
 
+	entry, err := models.Get(*modelName)
+	if err != nil {
+		return err
+	}
+	if !entry.CommitVocabulary {
+		return fmt.Errorf("model %q does not speak the commit vocabulary; the version service can execute: %s",
+			entry.Name, strings.Join(commitFamilyNames(), ", "))
+	}
+
 	net := simnet.New(*seed)
 	ring, err := chord.Build(*seed, *nodes)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("overlay: %d nodes, replication factor %d\n", ring.Size(), *r)
+	fmt.Printf("overlay: %d nodes, replication factor %d, model %s\n", ring.Size(), *r, entry.Name)
 
 	// Storage layer: every overlay node also stores blocks, under a
 	// distinct network identity so the two services stay separable.
@@ -58,7 +74,8 @@ func run(args []string) error {
 		}
 	}
 
-	svc, err := version.NewService(net, ring, *r)
+	svc, err := version.NewService(net, ring, *r,
+		version.WithModelBuilder(func(r int) (core.Model, error) { return entry.Build(r) }))
 	if err != nil {
 		return err
 	}
@@ -114,4 +131,16 @@ func run(args []string) error {
 	fmt.Printf("\nnetwork: %d sent, %d delivered, %d dropped, %d timers, virtual time %v\n",
 		st.Sent, st.Delivered, st.Dropped, st.TimersFired, net.Now())
 	return nil
+}
+
+// commitFamilyNames lists the registered models the version service can
+// execute.
+func commitFamilyNames() []string {
+	var names []string
+	for _, name := range models.Names() {
+		if e, err := models.Get(name); err == nil && e.CommitVocabulary {
+			names = append(names, name)
+		}
+	}
+	return names
 }

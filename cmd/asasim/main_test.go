@@ -17,11 +17,26 @@ func TestRunWithByzantineMember(t *testing.T) {
 	}
 }
 
+// TestRunRedundantModel drives the stack with the peer-set machines
+// generated from the commit-redundant registry entry: the merged machine
+// family is identical, so the protocol outcome must be too.
+func TestRunRedundantModel(t *testing.T) {
+	if err := run([]string{"-nodes", "16", "-updates", "2", "-seed", "4", "-model", "commit-redundant"}); err != nil {
+		t.Fatalf("asasim -model commit-redundant: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-r", "2"}); err == nil {
 		t.Error("replication factor 2 accepted")
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-model", "nonsense"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-model", "consensus"}); err == nil {
+		t.Error("non-commit-vocabulary model accepted by the version service")
 	}
 }

@@ -1,5 +1,5 @@
-// Command fsmgen executes the commit-protocol abstract model and renders
-// the generated state machine as one of the paper's artefact types:
+// Command fsmgen executes a registered abstract model and renders the
+// generated state machine as one of the paper's artefact types:
 //
 //	text      textual state catalogue (Fig. 14)
 //	dot       Graphviz state-transition diagram (Fig. 15)
@@ -9,11 +9,16 @@
 //	efsm      textual EFSM catalogue (§5.3)
 //	efsm-dot  Graphviz EFSM diagram
 //
+// The -model flag selects the scenario from the model registry (commit,
+// commit-redundant, consensus, termination); -r is the model parameter
+// (replication factor, process count, or fan-out bound).
+//
 // Examples:
 //
 //	fsmgen -r 4 -format text
+//	fsmgen -model consensus -r 7 -format dot
 //	fsmgen -r 7 -format go -pkg commitfsm7 -o machine_gen.go
-//	fsmgen -r 13 -format efsm
+//	fsmgen -model termination -r 13 -format efsm
 package main
 
 import (
@@ -21,9 +26,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"asagen/internal/commit"
 	"asagen/internal/core"
+	"asagen/internal/models"
 	"asagen/internal/render"
 )
 
@@ -37,34 +44,52 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("fsmgen", flag.ContinueOnError)
 	var (
-		r         = fs.Int("r", 4, "replication factor (minimum 4)")
+		modelName = fs.String("model", "commit", "registered model: "+strings.Join(models.Names(), ", "))
+		r         = fs.Int("r", 0, "model parameter (0 = model default)")
 		format    = fs.String("format", "text", "artefact: text, dot, xml, go, doc, efsm, efsm-dot")
 		pkg       = fs.String("pkg", "commitfsm", "package name for -format go")
 		out       = fs.String("o", "", "output file (stdout when empty)")
-		variant   = fs.String("variant", "strict", "Fig. 9 reading: strict or redundant")
+		variant   = fs.String("variant", "strict", "commit Fig. 9 reading: strict or redundant")
 		stats     = fs.Bool("stats", false, "print generation statistics to stderr")
+		workers   = fs.Int("workers", 1, "parallel frontier-expansion workers")
 		noMerge   = fs.Bool("no-merge", false, "skip the equivalent-state merging step")
-		noPrune   = fs.Bool("no-prune", false, "skip the unreachable-state pruning step")
+		noPrune   = fs.Bool("no-prune", false, "legacy full enumeration instead of reachability-first exploration")
 		noComment = fs.Bool("no-comments", false, "omit generated state commentary")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var opts []commit.Option
+	// -variant is the historical way to select the redundant commit
+	// reading; it maps onto the commit-redundant registry entry.
 	switch *variant {
 	case "strict":
-		// Default.
+		// Default reading of every entry.
 	case "redundant":
-		opts = append(opts, commit.WithVariant(commit.RedundantVariant()))
+		if *modelName != "commit" && *modelName != "commit-redundant" {
+			return fmt.Errorf("-variant redundant applies only to the commit model, not %q", *modelName)
+		}
+		*modelName = "commit-redundant"
 	default:
 		return fmt.Errorf("unknown variant %q", *variant)
+	}
+
+	entry, err := models.Get(*modelName)
+	if err != nil {
+		return err
+	}
+	param := *r
+	if param <= 0 {
+		param = entry.DefaultParam
 	}
 
 	var artefact string
 	switch *format {
 	case "efsm", "efsm-dot":
-		efsm, err := commit.GenerateEFSM(*r, opts...)
+		if entry.EFSM == nil {
+			return fmt.Errorf("model %q declares no EFSM abstraction", entry.Name)
+		}
+		efsm, err := entry.EFSM(param)
 		if err != nil {
 			return err
 		}
@@ -74,7 +99,7 @@ func run(args []string, stdout io.Writer) error {
 			artefact = render.RenderEFSMDot(efsm)
 		}
 	default:
-		model, err := commit.NewModel(*r, opts...)
+		model, err := entry.Build(param)
 		if err != nil {
 			return err
 		}
@@ -88,14 +113,20 @@ func run(args []string, stdout io.Writer) error {
 		if *noComment {
 			genOpts = append(genOpts, core.WithoutDescriptions())
 		}
+		if *workers > 1 {
+			genOpts = append(genOpts, core.WithWorkers(*workers))
+		}
 		machine, err := core.Generate(model, genOpts...)
 		if err != nil {
 			return err
 		}
 		if *stats {
-			fmt.Fprintf(os.Stderr, "model=%s r=%d f=%d initial=%d reachable=%d final=%d transitions=%d\n",
-				machine.ModelName, *r, model.FaultTolerance(),
-				machine.Stats.InitialStates, machine.Stats.ReachableStates,
+			line := fmt.Sprintf("model=%s %s=%d", machine.ModelName, entry.ParamName, model.Parameter())
+			if cm, ok := model.(*commit.Model); ok {
+				line += fmt.Sprintf(" f=%d", cm.FaultTolerance())
+			}
+			fmt.Fprintf(os.Stderr, "%s initial=%d reachable=%d final=%d transitions=%d\n",
+				line, machine.Stats.InitialStates, machine.Stats.ReachableStates,
 				machine.Stats.FinalStates, machine.TransitionCount())
 		}
 		switch *format {

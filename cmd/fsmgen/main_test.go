@@ -23,6 +23,14 @@ func TestRunFormats(t *testing.T) {
 		{"redundant", []string{"-r", "4", "-variant", "redundant", "-format", "text"}, "state: "},
 		{"no-merge", []string{"-r", "4", "-no-merge", "-format", "doc"}, "| States (merged) | 33 |"},
 		{"no-comments", []string{"-r", "4", "-no-comments", "-format", "text"}, "Transitions:"},
+		{"no-prune", []string{"-r", "4", "-no-prune", "-no-merge", "-format", "doc"}, "| States (raw) | 512 |"},
+		{"workers", []string{"-r", "7", "-workers", "4", "-format", "text"}, "state machine: bft-commit"},
+		{"default-param", []string{"-format", "text"}, "state machine: bft-commit"},
+		{"model-consensus", []string{"-model", "consensus", "-r", "5", "-format", "text"}, "state machine: ct-consensus"},
+		{"model-termination", []string{"-model", "termination", "-r", "3", "-format", "dot"}, "digraph"},
+		{"model-termination-efsm", []string{"-model", "termination", "-r", "6", "-format", "efsm"}, "states:"},
+		{"model-redundant-entry", []string{"-model", "commit-redundant", "-r", "4", "-format", "text"}, "state: "},
+		{"model-consensus-go", []string{"-model", "consensus", "-r", "4", "-format", "go", "-pkg", "cons"}, "package cons"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -39,11 +47,14 @@ func TestRunFormats(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	tests := [][]string{
-		{"-r", "3"},                    // replication too small
-		{"-format", "nonsense"},        // unknown format
-		{"-variant", "nonsense"},       // unknown variant
-		{"-r", "3", "-format", "efsm"}, // efsm path validates r too
-		{"-bogus-flag"},                // flag parse error
+		{"-r", "3"},                                      // replication too small
+		{"-format", "nonsense"},                          // unknown format
+		{"-variant", "nonsense"},                         // unknown variant
+		{"-r", "3", "-format", "efsm"},                   // efsm path validates r too
+		{"-bogus-flag"},                                  // flag parse error
+		{"-model", "nonsense"},                           // unregistered model
+		{"-model", "consensus", "-r", "2"},               // below the model's minimum
+		{"-model", "consensus", "-variant", "redundant"}, // variant is commit-only
 	}
 	for _, args := range tests {
 		var sb strings.Builder

@@ -1,21 +1,30 @@
 // Command table1 regenerates the paper's Table 1: for each published
-// (f, r) pair it executes the abstract model, reports the initial and final
-// state counts — which must match the paper exactly — and measures the
-// wall-clock generation time on this machine (the paper's times were taken
-// on a 2.33 GHz Core 2 Duo; only the growth shape is comparable).
+// (f, r) pair it executes the commit abstract model, reports the initial
+// and final state counts — which must match the paper exactly — and
+// measures the wall-clock generation time on this machine (the paper's
+// times were taken on a 2.33 GHz Core 2 Duo; only the growth shape is
+// comparable).
+//
+// With -model set to another registry entry the command prints the
+// analogous sweep table for that scenario (no published numbers exist, so
+// no comparison columns are shown).
 //
 //	table1 [-paper] [-variant strict|redundant]
+//	table1 -model consensus -params 3,5,7,9
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"asagen/internal/commit"
 	"asagen/internal/core"
+	"asagen/internal/models"
 )
 
 // paperRows are the published Table 1 rows: fault tolerance, replication
@@ -42,33 +51,71 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
-	showPaper := fs.Bool("paper", true, "include the paper's published numbers for comparison")
-	variant := fs.String("variant", "strict", "Fig. 9 reading: strict or redundant")
+	modelName := fs.String("model", "commit", "registered model: "+strings.Join(models.Names(), ", "))
+	showPaper := fs.Bool("paper", true, "include the paper's published numbers for comparison (commit only)")
+	variant := fs.String("variant", "strict", "commit Fig. 9 reading: strict or redundant")
+	params := fs.String("params", "", "comma-separated parameter values (default: the model's sweep)")
+	workers := fs.Int("workers", 1, "parallel frontier-expansion workers")
 	repeats := fs.Int("repeats", 3, "measurement repeats per row (minimum taken)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var opts []commit.Option
 	switch *variant {
 	case "strict":
 	case "redundant":
-		opts = append(opts, commit.WithVariant(commit.RedundantVariant()))
+		if *modelName != "commit" && *modelName != "commit-redundant" {
+			return fmt.Errorf("-variant redundant applies only to the commit model, not %q", *modelName)
+		}
+		*modelName = "commit-redundant"
 	default:
 		return fmt.Errorf("unknown variant %q", *variant)
+	}
+
+	entry, err := models.Get(*modelName)
+	if err != nil {
+		return err
+	}
+
+	genOpts := []core.Option{core.WithoutDescriptions()}
+	if *workers > 1 {
+		genOpts = append(genOpts, core.WithWorkers(*workers))
+	}
+
+	commitFamily := entry.CommitVocabulary
+	if !commitFamily {
+		*showPaper = false
+	}
+
+	sweep := entry.SweepParams
+	if *params != "" {
+		sweep, err = parseParams(*params)
+		if err != nil {
+			return err
+		}
+		// Custom parameter values have no published counterpart rows.
+		*showPaper = false
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	defer w.Flush()
 	header := "f\tr\tinitial states\tfinal states\tgeneration time (s)"
+	if !commitFamily {
+		header = entry.ParamName + "\tinitial states\tfinal states\tgeneration time (s)"
+	}
 	if *showPaper {
 		header += "\tpaper initial\tpaper final\tpaper time (s)"
 	}
 	fmt.Fprintln(w, header)
 
+	paperByR := make(map[int]int, len(paperRows))
+	for i, row := range paperRows {
+		paperByR[row.r] = i
+	}
+
 	mismatches := 0
-	for _, row := range paperRows {
-		model, err := commit.NewModel(row.r, opts...)
+	for _, param := range sweep {
+		model, err := entry.Build(param)
 		if err != nil {
 			return err
 		}
@@ -76,7 +123,7 @@ func run(args []string) error {
 		best := time.Duration(0)
 		for rep := 0; rep < max(1, *repeats); rep++ {
 			start := time.Now()
-			machine, err = core.Generate(model, core.WithoutDescriptions())
+			machine, err = core.Generate(model, genOpts...)
 			elapsed := time.Since(start)
 			if err != nil {
 				return err
@@ -85,10 +132,20 @@ func run(args []string) error {
 				best = elapsed
 			}
 		}
-		line := fmt.Sprintf("%d\t%d\t%d\t%d\t%.4f",
-			row.f, row.r, machine.Stats.InitialStates, machine.Stats.FinalStates,
-			best.Seconds())
-		if *showPaper {
+		var line string
+		if commitFamily {
+			f := (param - 1) / 3
+			if cm, ok := model.(*commit.Model); ok {
+				f = cm.FaultTolerance()
+			}
+			line = fmt.Sprintf("%d\t%d\t%d\t%d\t%.4f",
+				f, param, machine.Stats.InitialStates, machine.Stats.FinalStates, best.Seconds())
+		} else {
+			line = fmt.Sprintf("%d\t%d\t%d\t%.4f",
+				param, machine.Stats.InitialStates, machine.Stats.FinalStates, best.Seconds())
+		}
+		if i, ok := paperByR[param]; *showPaper && ok {
+			row := paperRows[i]
 			line += fmt.Sprintf("\t%d\t%d\t%.2f", row.initialStates, row.finalStates, row.paperSeconds)
 			if machine.Stats.InitialStates != row.initialStates ||
 				machine.Stats.FinalStates != row.finalStates {
@@ -103,4 +160,17 @@ func run(args []string) error {
 		return fmt.Errorf("%d rows deviate from the published counts", mismatches)
 	}
 	return nil
+}
+
+func parseParams(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -params entry %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -18,11 +18,45 @@ func TestRunRedundantVariant(t *testing.T) {
 	}
 }
 
+func TestRunOtherModels(t *testing.T) {
+	// Non-commit registry entries print a sweep table with no paper
+	// comparison; any generation failure surfaces as an error.
+	if err := run([]string{"-repeats", "1", "-model", "consensus"}); err != nil {
+		t.Fatalf("table1 -model consensus: %v", err)
+	}
+	if err := run([]string{"-repeats", "1", "-model", "termination", "-params", "1,3,5"}); err != nil {
+		t.Fatalf("table1 -model termination -params: %v", err)
+	}
+}
+
+func TestRunWorkers(t *testing.T) {
+	if err := run([]string{"-repeats", "1", "-workers", "4"}); err != nil {
+		t.Fatalf("table1 -workers 4: %v", err)
+	}
+}
+
+func TestRunCustomParams(t *testing.T) {
+	// Off-paper parameters skip the comparison columns instead of
+	// reporting mismatches.
+	if err := run([]string{"-repeats", "1", "-params", "5,6"}); err != nil {
+		t.Fatalf("table1 -params 5,6: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-variant", "nonsense"}); err == nil {
 		t.Error("unknown variant accepted")
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-model", "nonsense"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-model", "consensus", "-variant", "redundant"}); err == nil {
+		t.Error("redundant variant accepted for non-commit model")
+	}
+	if err := run([]string{"-params", "4,nope"}); err == nil {
+		t.Error("malformed -params accepted")
 	}
 }

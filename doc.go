@@ -5,6 +5,12 @@
 // model, from which a family of finite state machines — and their textual,
 // diagrammatic, documentary and source-code artefacts — are generated.
 //
+// Generation is reachability-first: machines are explored from the start
+// state via a deterministic frontier expansion, so cost scales with the
+// reachable set rather than the component cross product. Every scenario
+// (commit, commit-redundant, consensus, termination) is registered in
+// internal/models and selectable by name from all commands via -model.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-versus-measured record, and bench_test.go for the benchmark
 // harness that regenerates the paper's evaluation.

@@ -2,9 +2,10 @@
 // abstract model execution — textual catalogue (Fig. 14), Graphviz and XML
 // diagrams (Fig. 15), a compilable Go protocol implementation (Fig. 16),
 // markdown documentation, and the nine-state EFSM of §5.3 — into an output
-// directory.
+// directory. Any model in the registry can be rendered.
 //
-//	go run ./examples/codegen [-r 7] [-out artefacts]
+//	go run ./examples/codegen [-model commit] [-r 7] [-out artefacts]
+//	go run ./examples/codegen -model termination -r 4
 package main
 
 import (
@@ -13,23 +14,29 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
-	"asagen/internal/commit"
 	"asagen/internal/core"
+	"asagen/internal/models"
 	"asagen/internal/render"
 )
 
 func main() {
-	r := flag.Int("r", 7, "replication factor")
+	modelName := flag.String("model", "commit", "registered model: "+strings.Join(models.Names(), ", "))
+	r := flag.Int("r", 7, "model parameter")
 	out := flag.String("out", "artefacts", "output directory")
 	flag.Parse()
-	if err := run(*r, *out); err != nil {
+	if err := run(*modelName, *r, *out); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(r int, outDir string) error {
-	model, err := commit.NewModel(r)
+func run(modelName string, r int, outDir string) error {
+	entry, err := models.Get(modelName)
+	if err != nil {
+		return err
+	}
+	model, err := entry.Model(r)
 	if err != nil {
 		return err
 	}
@@ -50,47 +57,49 @@ func run(r int, outDir string) error {
 		return nil
 	}
 
-	if err := write(fmt.Sprintf("commit-r%d.txt", r),
-		render.NewTextRenderer().Render(machine)); err != nil {
+	base := fmt.Sprintf("%s-p%d", entry.Name, model.Parameter())
+	if err := write(base+".txt", render.NewTextRenderer().Render(machine)); err != nil {
 		return err
 	}
-	if err := write(fmt.Sprintf("commit-r%d.dot", r),
-		render.NewDotRenderer().Render(machine)); err != nil {
+	if err := write(base+".dot", render.NewDotRenderer().Render(machine)); err != nil {
 		return err
 	}
 	xml, err := render.NewXMLRenderer().Render(machine)
 	if err != nil {
 		return err
 	}
-	if err := write(fmt.Sprintf("commit-r%d.xml", r), xml); err != nil {
+	if err := write(base+".xml", xml); err != nil {
 		return err
 	}
-	src, err := render.NewGoSourceRenderer(fmt.Sprintf("commitfsm%d", r)).Render(machine)
+	pkg := fmt.Sprintf("%sfsm%d", strings.ReplaceAll(entry.Name, "-", ""), model.Parameter())
+	src, err := render.NewGoSourceRenderer(pkg).Render(machine)
 	if err != nil {
 		return err
 	}
-	if err := write(fmt.Sprintf("commitfsm%d.go", r), src); err != nil {
+	if err := write(pkg+".go", src); err != nil {
 		return err
 	}
-	if err := write(fmt.Sprintf("commit-r%d.md", r),
-		render.NewDocRenderer().Render(machine)); err != nil {
-		return err
-	}
-
-	// The EFSM formulation: nine states, generic in the replication
-	// factor.
-	efsm, err := commit.GenerateEFSM(r)
-	if err != nil {
-		return err
-	}
-	if err := write("commit-efsm.txt", render.RenderEFSMText(efsm)); err != nil {
-		return err
-	}
-	if err := write("commit-efsm.dot", render.RenderEFSMDot(efsm)); err != nil {
+	if err := write(base+".md", render.NewDocRenderer().Render(machine)); err != nil {
 		return err
 	}
 
-	fmt.Printf("\nmachine: %d states, %d transitions; EFSM: %d states (generic in r)\n",
-		len(machine.States), machine.TransitionCount(), len(efsm.States))
+	// The EFSM formulation: a fixed-size machine generic in the parameter.
+	efsmStates := 0
+	if entry.EFSM != nil {
+		efsm, err := entry.EFSM(model.Parameter())
+		if err != nil {
+			return err
+		}
+		if err := write(entry.Name+"-efsm.txt", render.RenderEFSMText(efsm)); err != nil {
+			return err
+		}
+		if err := write(entry.Name+"-efsm.dot", render.RenderEFSMDot(efsm)); err != nil {
+			return err
+		}
+		efsmStates = len(efsm.States)
+	}
+
+	fmt.Printf("\nmachine: %d states, %d transitions; EFSM: %d states (generic in the parameter)\n",
+		len(machine.States), machine.TransitionCount(), efsmStates)
 	return nil
 }

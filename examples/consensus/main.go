@@ -1,10 +1,10 @@
 // Consensus: the §5.2 applicability claim in action — the same generative
-// machinery applied to two further message-counting algorithms: a
-// Chandra–Toueg-style consensus (rotating-coordinator round, majority
-// thresholds) and Dijkstra–Scholten-style termination detection. For each,
-// the FSM family member is generated for several parameter values, and the
-// EFSM generalisation collapses the family to a parameter-independent
-// machine.
+// machinery applied to the further message-counting algorithms registered
+// in the model registry: a Chandra–Toueg-style consensus
+// (rotating-coordinator round, majority thresholds) and
+// Dijkstra–Scholten-style termination detection. For each, the FSM family
+// member is generated for several parameter values, and the EFSM
+// generalisation collapses the family to a parameter-independent machine.
 //
 //	go run ./examples/consensus
 package main
@@ -15,9 +15,9 @@ import (
 
 	"asagen/internal/consensus"
 	"asagen/internal/core"
+	"asagen/internal/models"
 	"asagen/internal/render"
 	"asagen/internal/runtime"
-	"asagen/internal/termination"
 )
 
 func main() {
@@ -26,10 +26,12 @@ func main() {
 	}
 }
 
-func run() error {
-	fmt.Println("== consensus (Chandra-Toueg style) ==")
-	for _, n := range []int{3, 5, 7, 9} {
-		model, err := consensus.NewModel(n)
+// sweep generates the entry's family member for each sweep parameter and
+// prints the size trajectory, demonstrating that any registered scenario
+// runs through the same reachability-first core.
+func sweep(entry models.Entry) error {
+	for _, param := range entry.SweepParams {
+		model, err := entry.Build(param)
 		if err != nil {
 			return err
 		}
@@ -37,17 +39,29 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("n=%d (majority %d): %5d raw states -> %3d final\n",
-			n, model.Majority(), machine.Stats.InitialStates, machine.Stats.FinalStates)
+		fmt.Printf("%s=%d: %5d raw states -> %3d final\n",
+			entry.ParamName, param, machine.Stats.InitialStates, machine.Stats.FinalStates)
 	}
-	efsm, err := consensus.GenerateEFSM(7)
+	return nil
+}
+
+func run() error {
+	fmt.Println("== consensus (Chandra-Toueg style) ==")
+	centry, err := models.Get("consensus")
+	if err != nil {
+		return err
+	}
+	if err := sweep(centry); err != nil {
+		return err
+	}
+	efsm, err := centry.EFSM(7)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("EFSM: %d states, independent of n: %v\n\n", len(efsm.States), efsm.StateNames())
 
 	// Drive one decided round on the generated n=5 machine.
-	model, err := consensus.NewModel(5)
+	model, err := centry.Build(5)
 	if err != nil {
 		return err
 	}
@@ -74,19 +88,14 @@ func run() error {
 	fmt.Printf("decided: %v\n\n", inst.Finished())
 
 	fmt.Println("== termination detection (message counting) ==")
-	for _, k := range []int{1, 2, 4, 8} {
-		tm, err := termination.NewModel(k)
-		if err != nil {
-			return err
-		}
-		tmachine, err := core.Generate(tm, core.WithoutDescriptions())
-		if err != nil {
-			return err
-		}
-		fmt.Printf("k=%d: %2d raw states -> %2d final\n",
-			k, tmachine.Stats.InitialStates, tmachine.Stats.FinalStates)
+	tentry, err := models.Get("termination")
+	if err != nil {
+		return err
 	}
-	tefsm, err := termination.GenerateEFSM(4)
+	if err := sweep(tentry); err != nil {
+		return err
+	}
+	tefsm, err := tentry.EFSM(4)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ import (
 
 	"asagen/internal/commit"
 	"asagen/internal/core"
+	"asagen/internal/models"
 	"asagen/internal/render"
 	"asagen/internal/runtime"
 )
@@ -22,11 +23,16 @@ func main() {
 }
 
 func run() error {
-	// 1. Build the abstract model: the structure shared by every member
-	// of the FSM family, parameterised by the replication factor.
-	model, err := commit.NewModel(4)
+	// 1. Build the abstract model through the scenario registry: the
+	// structure shared by every member of the FSM family, parameterised by
+	// the replication factor.
+	generic, err := models.Build("commit", 4)
 	if err != nil {
 		return err
+	}
+	model, ok := generic.(*commit.Model)
+	if !ok {
+		return fmt.Errorf("registry entry %q built %T, want *commit.Model", "commit", generic)
 	}
 	fmt.Printf("model %s: r=%d, tolerates f=%d Byzantine members\n",
 		model.Name(), model.ReplicationFactor(), model.FaultTolerance())

@@ -1,0 +1,3 @@
+module asagen
+
+go 1.24

@@ -109,7 +109,10 @@ func TestVectorIndexRoundTrip(t *testing.T) {
 		NewBoolComponent("c"),
 		NewIntComponent("d", 2),
 	}
-	size := stateSpaceSize(comps)
+	size, err := stateSpaceSize(comps)
+	if err != nil {
+		t.Fatalf("stateSpaceSize: %v", err)
+	}
 	if size != 2*7*2*3 {
 		t.Fatalf("stateSpaceSize = %d, want %d", size, 2*7*2*3)
 	}
@@ -119,7 +122,8 @@ func TestVectorIndexRoundTrip(t *testing.T) {
 		if err := v.validate(comps); err != nil {
 			return false
 		}
-		return v.index(comps) == idx
+		got, err := v.index(comps)
+		return err == nil && got == idx
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Error(err)
@@ -134,7 +138,10 @@ func TestVectorIndexBijective(t *testing.T) {
 		NewBoolComponent("b"),
 		NewIntComponent("c", 4),
 	}
-	size := stateSpaceSize(comps)
+	size, err := stateSpaceSize(comps)
+	if err != nil {
+		t.Fatalf("stateSpaceSize: %v", err)
+	}
 	seen := make(map[string]bool, size)
 	for idx := 0; idx < size; idx++ {
 		name := vectorFromIndex(idx, comps).Name(comps)

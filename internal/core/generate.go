@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
+	"sync"
 )
 
 // Errors returned by Generate for malformed models.
@@ -17,14 +19,18 @@ type genConfig struct {
 	merge           bool
 	singlePassMerge bool
 	describe        bool
+	workers         int
 }
 
 // Option configures the generation pipeline.
 type Option func(*genConfig)
 
-// WithoutPruning disables step 3 (removal of unreachable states); the
-// resulting machine contains the full enumerated state space. Used by the
-// pipeline-ablation experiments.
+// WithoutPruning disables reachability-first exploration and falls back to
+// the paper's literal §3.4 pipeline: enumerate the full component cross
+// product, generate transitions for every state, and keep unreachable
+// states in the resulting machine. Used by the pipeline-ablation
+// experiments. The cross product must fit in an int; Generate returns
+// ErrStateSpaceOverflow otherwise.
 func WithoutPruning() Option { return func(c *genConfig) { c.prune = false } }
 
 // WithoutMerging disables step 4 (combining equivalent states). Used by the
@@ -40,12 +46,23 @@ func WithSinglePassMerge() Option { return func(c *genConfig) { c.singlePassMerg
 // which speeds up generation for large parameter values.
 func WithoutDescriptions() Option { return func(c *genConfig) { c.describe = false } }
 
-// rawTransition is the per-(state,message) effect computed during step 2.
+// WithWorkers shards frontier expansion across n goroutines. Each BFS level
+// is split into chunks whose transitions are computed concurrently and then
+// merged in deterministic state order, so the generated machine is
+// bit-identical to the serial result. The model's Apply method is called
+// concurrently; Model implementations must be deterministic and side-effect
+// free (as the Model contract already requires), which makes concurrent
+// calls safe. Values of n below 2 select the serial explorer. Ignored on
+// the WithoutPruning path, which retains the legacy serial enumeration.
+func WithWorkers(n int) Option { return func(c *genConfig) { c.workers = n } }
+
+// rawTransition is the per-(state,message) effect computed during
+// exploration.
 type rawTransition struct {
 	// msg is the message that triggers the transition.
 	msg string
-	// target is the enumeration index of the resulting state, or
-	// finishTarget for transitions into the synthetic finish state.
+	// target is the state id of the resulting state, or finishTarget for
+	// transitions into the synthetic finish state.
 	target      int
 	actions     []string
 	annotations []string
@@ -53,10 +70,39 @@ type rawTransition struct {
 
 const finishTarget = -1
 
+// stateStore interns state vectors: each distinct vector is assigned a dense
+// id in discovery order. It replaces the legacy row-major ordinal indexing,
+// so only visited states are ever materialised.
+type stateStore struct {
+	ids    map[string]int
+	vecs   []Vector
+	keyBuf []byte
+}
+
+func newStateStore() *stateStore {
+	return &stateStore{ids: make(map[string]int, 64)}
+}
+
+// intern returns the id of v, assigning the next free id when v has not been
+// seen before. The vector is copied, so callers may reuse v.
+func (st *stateStore) intern(v Vector) int {
+	st.keyBuf = v.appendKey(st.keyBuf[:0])
+	if id, ok := st.ids[string(st.keyBuf)]; ok {
+		return id
+	}
+	id := len(st.vecs)
+	st.ids[string(st.keyBuf)] = id
+	st.vecs = append(st.vecs, v.Clone())
+	return id
+}
+
 // Generate executes the abstract model and returns the corresponding finite
-// state machine, following the four pipeline steps of §3.4: enumerate all
-// possible states, generate the transitions resulting from all possible
-// messages, prune unreachable states, and combine equivalent states.
+// state machine. The default path is reachability-first: starting from the
+// model's start vector, a breadth-first frontier exploration generates
+// transitions only for states actually reachable, so memory and time scale
+// with the reachable set rather than the component cross product (§3.4
+// steps 1–3 fused). Equivalent states are then combined (step 4).
+// WithoutPruning selects the legacy full-enumeration pipeline instead.
 func Generate(m Model, opts ...Option) (*StateMachine, error) {
 	cfg := genConfig{prune: true, merge: true, describe: true}
 	for _, opt := range opts {
@@ -79,13 +125,69 @@ func Generate(m Model, opts ...Option) (*StateMachine, error) {
 		return nil, fmt.Errorf("core: start state: %w", err)
 	}
 
-	// Step 1+2: enumerate every possible state and compute the transitions
-	// resulting from each possible message.
-	size := stateSpaceSize(components)
-	table := make([][]rawTransition, size)
+	var (
+		store      *stateStore
+		table      [][]rawTransition
+		hasFinish  bool
+		err        error
+		crossSize  int
+		overflowed bool
+	)
+	crossSize, err = stateSpaceSize(components)
+	if err != nil {
+		if !cfg.prune {
+			// The legacy pipeline must materialise the cross product.
+			return nil, err
+		}
+		crossSize, overflowed = math.MaxInt, true
+	}
+
+	if cfg.prune {
+		store, table, hasFinish, err = exploreFrontier(m, components, messages, start, cfg.workers)
+	} else {
+		store, table, hasFinish, err = enumerateAll(m, components, messages, crossSize)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	startID := 0
+	if !cfg.prune {
+		if startID, err = start.index(components); err != nil {
+			return nil, err
+		}
+	}
+	finishReachable := hasFinish // every explored state is reachable on the frontier path
+
+	machine := buildMachine(m, cfg, store.vecs, table, finishReachable, startID)
+	machine.Stats.InitialStates = crossSize
+	machine.Stats.InitialOverflow = overflowed
+	machine.Stats.ReachableStates = len(machine.States)
+
+	// Step 4: combine equivalent states.
+	if cfg.merge {
+		mergeEquivalent(machine, cfg.singlePassMerge)
+	}
+	machine.Stats.FinalStates = len(machine.States)
+	machine.sortStates()
+	return machine, nil
+}
+
+// exploreFrontier performs the reachability-first exploration: a worklist
+// BFS from the start vector, interning each newly discovered vector in the
+// store. Processing states in id order is exactly FIFO order, since new
+// states are appended in discovery order. With workers > 1 each BFS level is
+// expanded concurrently and merged deterministically.
+func exploreFrontier(m Model, components []StateComponent, messages []string, start Vector, workers int) (*stateStore, [][]rawTransition, bool, error) {
+	if workers > 1 {
+		return exploreFrontierParallel(m, components, messages, start, workers)
+	}
+	store := newStateStore()
+	store.intern(start)
+	table := make([][]rawTransition, 0, 64)
 	hasFinish := false
-	for idx := 0; idx < size; idx++ {
-		v := vectorFromIndex(idx, components)
+	for cursor := 0; cursor < len(store.vecs); cursor++ {
+		v := store.vecs[cursor]
 		row := make([]rawTransition, 0, len(messages))
 		for _, msg := range messages {
 			eff, ok := m.Apply(v, msg)
@@ -98,60 +200,145 @@ func Generate(m Model, opts ...Option) (*StateMachine, error) {
 				hasFinish = true
 			} else {
 				if err := eff.Target.validate(components); err != nil {
-					return nil, fmt.Errorf("core: %s on %s: %w", msg, v.Name(components), err)
+					return nil, nil, false, fmt.Errorf("core: %s on %s: %w", msg, v.Name(components), err)
 				}
-				rt.target = eff.Target.index(components)
+				rt.target = store.intern(eff.Target)
+			}
+			row = append(row, rt)
+		}
+		table = append(table, row)
+	}
+	return store, table, hasFinish, nil
+}
+
+// appliedEffect is one applicable (message, effect) pair computed by a
+// frontier-expansion worker before the deterministic merge assigns ids.
+type appliedEffect struct {
+	msg string
+	eff Effect
+}
+
+// exploreFrontierParallel is the level-synchronised variant of
+// exploreFrontier: the states of one BFS level are sharded across workers,
+// each worker computes the raw effects for its shard, and the main goroutine
+// merges the shards in ascending state id, interning targets in the same
+// order the serial explorer would. The resulting store and table are
+// identical to the serial ones.
+func exploreFrontierParallel(m Model, components []StateComponent, messages []string, start Vector, workers int) (*stateStore, [][]rawTransition, bool, error) {
+	store := newStateStore()
+	store.intern(start)
+	table := make([][]rawTransition, 0, 64)
+	hasFinish := false
+
+	for lo := 0; lo < len(store.vecs); {
+		hi := len(store.vecs)
+		n := hi - lo
+		results := make([][]appliedEffect, n)
+		chunk := (n + workers - 1) / workers
+
+		var (
+			wg       sync.WaitGroup
+			errMu    sync.Mutex
+			firstErr error
+		)
+		for w := 0; w < workers; w++ {
+			a := lo + w*chunk
+			b := min(a+chunk, hi)
+			if a >= b {
+				break
+			}
+			wg.Add(1)
+			go func(a, b int) {
+				defer wg.Done()
+				for id := a; id < b; id++ {
+					v := store.vecs[id]
+					effs := make([]appliedEffect, 0, len(messages))
+					for _, msg := range messages {
+						eff, ok := m.Apply(v, msg)
+						if !ok {
+							continue
+						}
+						if !eff.Finished {
+							if err := eff.Target.validate(components); err != nil {
+								errMu.Lock()
+								if firstErr == nil {
+									firstErr = fmt.Errorf("core: %s on %s: %w", msg, v.Name(components), err)
+								}
+								errMu.Unlock()
+								return
+							}
+						}
+						effs = append(effs, appliedEffect{msg: msg, eff: eff})
+					}
+					results[id-lo] = effs
+				}
+			}(a, b)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, nil, false, firstErr
+		}
+
+		for i := 0; i < n; i++ {
+			row := make([]rawTransition, 0, len(results[i]))
+			for _, ae := range results[i] {
+				rt := rawTransition{msg: ae.msg, actions: ae.eff.Actions, annotations: ae.eff.Annotations}
+				if ae.eff.Finished {
+					rt.target = finishTarget
+					hasFinish = true
+				} else {
+					rt.target = store.intern(ae.eff.Target)
+				}
+				row = append(row, rt)
+			}
+			table = append(table, row)
+		}
+		lo = hi
+	}
+	return store, table, hasFinish, nil
+}
+
+// enumerateAll is the legacy §3.4 steps 1+2: materialise every possible
+// state in row-major order and compute the transitions resulting from each
+// possible message. State ids coincide with enumeration indices.
+func enumerateAll(m Model, components []StateComponent, messages []string, size int) (*stateStore, [][]rawTransition, bool, error) {
+	store := &stateStore{vecs: make([]Vector, size)}
+	table := make([][]rawTransition, size)
+	hasFinish := false
+	for idx := 0; idx < size; idx++ {
+		v := vectorFromIndex(idx, components)
+		store.vecs[idx] = v
+		row := make([]rawTransition, 0, len(messages))
+		for _, msg := range messages {
+			eff, ok := m.Apply(v, msg)
+			if !ok {
+				continue
+			}
+			rt := rawTransition{msg: msg, actions: eff.Actions, annotations: eff.Annotations}
+			if eff.Finished {
+				rt.target = finishTarget
+				hasFinish = true
+			} else {
+				if err := eff.Target.validate(components); err != nil {
+					return nil, nil, false, fmt.Errorf("core: %s on %s: %w", msg, v.Name(components), err)
+				}
+				target, err := eff.Target.index(components)
+				if err != nil {
+					return nil, nil, false, err
+				}
+				rt.target = target
 			}
 			row = append(row, rt)
 		}
 		table[idx] = row
 	}
-
-	// Step 3: prune unreachable states via breadth-first traversal from the
-	// start state.
-	startIdx := start.index(components)
-	reachable := make([]bool, size)
-	finishReachable := false
-	if cfg.prune {
-		queue := []int{startIdx}
-		reachable[startIdx] = true
-		for len(queue) > 0 {
-			idx := queue[0]
-			queue = queue[1:]
-			for _, rt := range table[idx] {
-				if rt.target == finishTarget {
-					finishReachable = true
-					continue
-				}
-				if !reachable[rt.target] {
-					reachable[rt.target] = true
-					queue = append(queue, rt.target)
-				}
-			}
-		}
-	} else {
-		for i := range reachable {
-			reachable[i] = true
-		}
-		finishReachable = hasFinish
-	}
-
-	machine := buildMachine(m, cfg, table, reachable, finishReachable, startIdx)
-	machine.Stats.InitialStates = size
-	machine.Stats.ReachableStates = len(machine.States)
-
-	// Step 4: combine equivalent states.
-	if cfg.merge {
-		mergeEquivalent(machine, cfg.singlePassMerge)
-	}
-	machine.Stats.FinalStates = len(machine.States)
-	machine.sortStates()
-	return machine, nil
+	return store, table, hasFinish, nil
 }
 
-// buildMachine materialises State and Transition objects for the reachable
-// portion of the transition table.
-func buildMachine(m Model, cfg genConfig, table [][]rawTransition, reachable []bool, finishReachable bool, startIdx int) *StateMachine {
+// buildMachine materialises State and Transition objects for the explored
+// states. vecs[i] is the vector of state id i; table[i] its outgoing raw
+// transitions.
+func buildMachine(m Model, cfg genConfig, vecs []Vector, table [][]rawTransition, finishReachable bool, startID int) *StateMachine {
 	components := m.Components()
 	machine := &StateMachine{
 		ModelName:  m.Name(),
@@ -160,12 +347,9 @@ func buildMachine(m Model, cfg genConfig, table [][]rawTransition, reachable []b
 		Messages:   append([]string(nil), m.Messages()...),
 	}
 
-	states := make(map[int]*State, len(table))
-	for idx, row := range table {
-		if !reachable[idx] {
-			continue
-		}
-		v := vectorFromIndex(idx, components)
+	states := make([]*State, len(table))
+	for id, row := range table {
+		v := vecs[id]
 		s := &State{
 			Name:        v.Name(components),
 			Vector:      v,
@@ -175,7 +359,7 @@ func buildMachine(m Model, cfg genConfig, table [][]rawTransition, reachable []b
 			s.Annotations = m.DescribeState(v)
 		}
 		s.MergedNames = []string{s.Name}
-		states[idx] = s
+		states[id] = s
 		machine.States = append(machine.States, s)
 	}
 
@@ -192,22 +376,14 @@ func buildMachine(m Model, cfg genConfig, table [][]rawTransition, reachable []b
 		machine.Finish = finish
 	}
 
-	for idx, row := range table {
-		if !reachable[idx] {
-			continue
-		}
-		s := states[idx]
+	for id, row := range table {
+		s := states[id]
 		for _, rt := range row {
 			var target *State
 			if rt.target == finishTarget {
 				target = finish
 			} else {
 				target = states[rt.target]
-				if target == nil {
-					// Target pruned: cannot happen for reachable sources,
-					// since reachability propagates through transitions.
-					continue
-				}
 			}
 			s.Transitions[rt.msg] = &Transition{
 				Message:     rt.msg,
@@ -218,7 +394,7 @@ func buildMachine(m Model, cfg genConfig, table [][]rawTransition, reachable []b
 		}
 	}
 
-	machine.Start = states[startIdx]
+	machine.Start = states[startID]
 	return machine
 }
 

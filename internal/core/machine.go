@@ -38,8 +38,15 @@ type StateMachine struct {
 // pipeline, matching the columns of the paper's Table 1.
 type Stats struct {
 	// InitialStates is the raw cross-product size (32·r² for the commit
-	// protocol).
+	// protocol). It is computed arithmetically, never by materialising the
+	// cross product; when the product exceeds math.MaxInt the field
+	// saturates at math.MaxInt and InitialOverflow is set.
 	InitialStates int
+	// InitialOverflow reports that the cross product exceeds math.MaxInt,
+	// so InitialStates is a saturated lower bound rather than an exact
+	// count. Only the reachability-first path can produce this; the legacy
+	// full-enumeration path fails with ErrStateSpaceOverflow instead.
+	InitialOverflow bool
 	// ReachableStates is the count after pruning unreachable states,
 	// including the finish state when one is reachable.
 	ReachableStates int
@@ -144,7 +151,8 @@ func (m *StateMachine) StateNames() []string {
 }
 
 // sortStates orders states deterministically: start first, finish last,
-// remainder by enumeration index of their vectors.
+// remainder in lexicographic vector order (identical to enumeration-index
+// order, but defined even when the cross product overflows an int).
 func (m *StateMachine) sortStates() {
 	sort.SliceStable(m.States, func(i, j int) bool {
 		si, sj := m.States[i], m.States[j]
@@ -158,7 +166,7 @@ func (m *StateMachine) sortStates() {
 		case sj.Final:
 			return true
 		default:
-			return si.Vector.index(m.Components) < sj.Vector.index(m.Components)
+			return si.Vector.Compare(sj.Vector) < 0
 		}
 	})
 }

@@ -95,7 +95,7 @@ func changed(a, b []int) bool {
 }
 
 // collapse rewrites the machine so each equivalence class is represented by
-// a single state: the member with the smallest enumeration index (the start
+// a single state: the lexicographically smallest member (the start
 // state wins its class outright so the entry point is stable). Transition
 // targets are redirected to class representatives and merged-away names are
 // recorded on the representative.
@@ -119,7 +119,7 @@ func collapse(machine *StateMachine, class []int) {
 			rep[c] = s
 		case cur == machine.Start:
 			// keep current
-		case !s.Final && s.Vector.index(machine.Components) < cur.Vector.index(machine.Components):
+		case !s.Final && s.Vector.Compare(cur.Vector) < 0:
 			rep[c] = s
 		}
 	}

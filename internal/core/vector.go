@@ -1,9 +1,18 @@
 package core
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"math"
 	"strings"
 )
+
+// ErrStateSpaceOverflow reports that the component cross product exceeds
+// math.MaxInt, so it cannot be enumerated (or even counted) in an int. The
+// reachability-first generation path tolerates this — it never materialises
+// the cross product — while the legacy WithoutPruning path propagates it.
+var ErrStateSpaceOverflow = errors.New("core: state space size overflows int")
 
 // Vector is a concrete assignment of values to the state components of an
 // abstract model: element i is the value of component i. Vectors are the
@@ -31,6 +40,28 @@ func (v Vector) Equal(w Vector) bool {
 	return true
 }
 
+// Compare orders vectors lexicographically by component value. For vectors
+// over the same components this coincides with comparing row-major
+// enumeration indices, but never overflows, so it is the canonical ordering
+// for state spaces too large to index.
+func (v Vector) Compare(w Vector) int {
+	for i := range v {
+		if i >= len(w) {
+			return 1
+		}
+		switch {
+		case v[i] < w[i]:
+			return -1
+		case v[i] > w[i]:
+			return 1
+		}
+	}
+	if len(v) < len(w) {
+		return -1
+	}
+	return 0
+}
+
 // Name renders the vector as a state name in the paper's encoding: the
 // component value names joined by "/", e.g. "T/2/F/0/F/F/F".
 func (v Vector) Name(components []StateComponent) string {
@@ -41,14 +72,30 @@ func (v Vector) Name(components []StateComponent) string {
 	return strings.Join(parts, "/")
 }
 
+// appendKey appends a compact byte encoding of the vector to buf, for use as
+// an interning key in the frontier explorer's visited store. Two vectors over
+// the same components produce equal keys iff they are Equal.
+func (v Vector) appendKey(buf []byte) []byte {
+	for _, val := range v {
+		buf = binary.AppendUvarint(buf, uint64(val))
+	}
+	return buf
+}
+
 // index converts the vector to its ordinal position in the row-major
-// enumeration of the component cross product.
-func (v Vector) index(components []StateComponent) int {
+// enumeration of the component cross product. It returns
+// ErrStateSpaceOverflow when the enumeration index cannot be represented in
+// an int.
+func (v Vector) index(components []StateComponent) (int, error) {
 	idx := 0
 	for i, val := range v {
-		idx = idx*components[i].Cardinality() + val
+		card := components[i].Cardinality()
+		if idx > (math.MaxInt-val)/card {
+			return 0, fmt.Errorf("core: index of %v: %w", []int(v), ErrStateSpaceOverflow)
+		}
+		idx = idx*card + val
 	}
-	return idx
+	return idx, nil
 }
 
 // vectorFromIndex is the inverse of Vector.index.
@@ -62,13 +109,21 @@ func vectorFromIndex(idx int, components []StateComponent) Vector {
 	return v
 }
 
-// stateSpaceSize returns the product of all component cardinalities.
-func stateSpaceSize(components []StateComponent) int {
+// stateSpaceSize returns the product of all component cardinalities, or
+// ErrStateSpaceOverflow when the product exceeds math.MaxInt.
+func stateSpaceSize(components []StateComponent) (int, error) {
 	size := 1
 	for _, c := range components {
-		size *= c.Cardinality()
+		card := c.Cardinality()
+		if card == 0 {
+			return 0, nil
+		}
+		if size > math.MaxInt/card {
+			return 0, fmt.Errorf("core: %d-component cross product: %w", len(components), ErrStateSpaceOverflow)
+		}
+		size *= card
 	}
-	return size
+	return size, nil
 }
 
 // validate checks that the vector has the right arity and every value is in

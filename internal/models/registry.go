@@ -1,0 +1,151 @@
+// Package models is the scenario registry: every abstract model the
+// repository implements is registered here under a stable name, so the
+// renderer, runtime, simulation and benchmark layers can select any
+// scenario by name instead of being hardwired to one model package.
+//
+// A registry entry bundles the model builder (parameter → core.Model), the
+// optional EFSM generalisation, and the metadata commands need to present
+// the scenario (parameter semantics, defaults, sweep values). New model
+// packages plug into every command and example by adding one Register call.
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"asagen/internal/commit"
+	"asagen/internal/consensus"
+	"asagen/internal/core"
+	"asagen/internal/termination"
+)
+
+// Builder constructs the abstract model for a parameter value.
+type Builder func(param int) (core.Model, error)
+
+// EFSMBuilder generates the parameter-independent EFSM generalisation
+// (§5.3) from the family member for the given parameter value.
+type EFSMBuilder func(param int) (*core.EFSM, error)
+
+// Entry describes one registered scenario.
+type Entry struct {
+	// Name is the registry key, e.g. "commit".
+	Name string
+	// Description is a one-line summary shown in command help.
+	Description string
+	// ParamName names the model parameter, e.g. "replication factor".
+	ParamName string
+	// DefaultParam is the parameter used when the caller passes none.
+	DefaultParam int
+	// SweepParams are representative parameter values for sweep tables and
+	// differential tests, in ascending order.
+	SweepParams []int
+	// Build constructs the abstract model for a parameter value.
+	Build Builder
+	// EFSM generalises the family to a parameter-independent EFSM, or nil
+	// when the model declares no abstraction.
+	EFSM EFSMBuilder
+	// CommitVocabulary reports that generated machines react to the commit
+	// protocol's message set, so the version-service runtime can execute
+	// them.
+	CommitVocabulary bool
+}
+
+// Model builds the entry's model, substituting DefaultParam when param <= 0.
+func (e Entry) Model(param int) (core.Model, error) {
+	if param <= 0 {
+		param = e.DefaultParam
+	}
+	return e.Build(param)
+}
+
+var registry = map[string]Entry{}
+
+// Register adds an entry to the registry. It panics on a duplicate or empty
+// name, which indicates a programming error at package initialisation.
+func Register(e Entry) {
+	if e.Name == "" {
+		panic("models: register entry with empty name")
+	}
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("models: duplicate registration of %q", e.Name))
+	}
+	if e.Build == nil {
+		panic(fmt.Sprintf("models: entry %q has no builder", e.Name))
+	}
+	registry[e.Name] = e
+}
+
+// Get returns the entry registered under name. The error lists the known
+// names so command-line mistakes are self-explanatory.
+func Get(name string) (Entry, error) {
+	e, ok := registry[name]
+	if !ok {
+		return Entry{}, fmt.Errorf("models: unknown model %q (known: %v)", name, Names())
+	}
+	return e, nil
+}
+
+// Names returns all registered names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Build constructs the named model for a parameter value (<= 0 selects the
+// entry's default parameter).
+func Build(name string, param int) (core.Model, error) {
+	e, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.Model(param)
+}
+
+func init() {
+	Register(Entry{
+		Name:             "commit",
+		Description:      "BFT commit protocol (strict Fig. 9 reading, matches Table 1)",
+		ParamName:        "replication factor",
+		DefaultParam:     4,
+		SweepParams:      []int{4, 7, 13, 25, 46},
+		Build:            func(r int) (core.Model, error) { return commit.NewModel(r) },
+		EFSM:             func(r int) (*core.EFSM, error) { return commit.GenerateEFSM(r) },
+		CommitVocabulary: true,
+	})
+	Register(Entry{
+		Name:         "commit-redundant",
+		Description:  "BFT commit protocol, redundant could_choose reading (pre-merge redundancy)",
+		ParamName:    "replication factor",
+		DefaultParam: 4,
+		SweepParams:  []int{4, 7, 13, 25, 46},
+		Build: func(r int) (core.Model, error) {
+			return commit.NewModel(r, commit.WithVariant(commit.RedundantVariant()))
+		},
+		EFSM: func(r int) (*core.EFSM, error) {
+			return commit.GenerateEFSM(r, commit.WithVariant(commit.RedundantVariant()))
+		},
+		CommitVocabulary: true,
+	})
+	Register(Entry{
+		Name:         "consensus",
+		Description:  "Chandra-Toueg-style single-decree consensus (majority thresholds)",
+		ParamName:    "process count",
+		DefaultParam: 5,
+		SweepParams:  []int{3, 5, 7, 9},
+		Build:        func(n int) (core.Model, error) { return consensus.NewModel(n) },
+		EFSM:         consensus.GenerateEFSM,
+	})
+	Register(Entry{
+		Name:         "termination",
+		Description:  "Dijkstra-Scholten-style termination detection (fan-out bound k)",
+		ParamName:    "fan-out bound",
+		DefaultParam: 4,
+		SweepParams:  []int{1, 2, 4, 8},
+		Build:        func(k int) (core.Model, error) { return termination.NewModel(k) },
+		EFSM:         termination.GenerateEFSM,
+	})
+}

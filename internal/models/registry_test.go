@@ -1,0 +1,94 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"asagen/internal/core"
+)
+
+func TestNamesCoversAllScenarios(t *testing.T) {
+	want := []string{"commit", "commit-redundant", "consensus", "termination"}
+	got := Names()
+	if len(got) < len(want) {
+		t.Fatalf("Names() = %v, want at least %v", got, want)
+	}
+	for _, name := range want {
+		found := false
+		for _, g := range got {
+			if g == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Names() = %v, missing %q", got, name)
+		}
+	}
+}
+
+func TestGetUnknownListsKnownNames(t *testing.T) {
+	_, err := Get("nonsense")
+	if err == nil {
+		t.Fatal("Get(nonsense) succeeded")
+	}
+	if !strings.Contains(err.Error(), "commit") {
+		t.Errorf("error %q does not list known names", err)
+	}
+}
+
+func TestBuildDefaultsAndGenerates(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			entry, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model, err := entry.Model(0) // 0 selects the default parameter
+			if err != nil {
+				t.Fatalf("Model(0): %v", err)
+			}
+			if model.Parameter() != entry.DefaultParam {
+				t.Errorf("Parameter() = %d, want default %d", model.Parameter(), entry.DefaultParam)
+			}
+			machine, err := core.Generate(model, core.WithoutDescriptions())
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if len(machine.States) == 0 || machine.Start == nil {
+				t.Error("generated machine is empty")
+			}
+			if entry.EFSM != nil {
+				efsm, err := entry.EFSM(entry.DefaultParam)
+				if err != nil {
+					t.Fatalf("EFSM: %v", err)
+				}
+				if len(efsm.States) == 0 {
+					t.Error("generated EFSM is empty")
+				}
+			}
+		})
+	}
+}
+
+func TestBuildByName(t *testing.T) {
+	model, err := Build("termination", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Parameter() != 3 {
+		t.Errorf("Parameter() = %d, want 3", model.Parameter())
+	}
+	if _, err := Build("nonsense", 3); err == nil {
+		t.Error("Build(nonsense) succeeded")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(Entry{Name: "commit", Build: func(int) (core.Model, error) { return nil, nil }})
+}

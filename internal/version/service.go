@@ -25,8 +25,8 @@ var (
 
 // Service wires the version history layer onto a simulated network and
 // routing overlay: one Member per overlay node, executing machines
-// generated from the commit abstract model for the configured replication
-// factor.
+// generated from a commit-vocabulary abstract model for the configured
+// replication factor (the strict commit model by default).
 type Service struct {
 	net     *simnet.Network
 	ring    *chord.Ring
@@ -35,6 +35,7 @@ type Service struct {
 	r       int
 	f       int
 	timeout time.Duration
+	builder func(r int) (core.Model, error)
 }
 
 // ServiceOption configures a Service.
@@ -45,10 +46,30 @@ func WithAbandonTimeout(d time.Duration) ServiceOption {
 	return func(s *Service) { s.timeout = d }
 }
 
-// NewService generates the commit machine for the replication factor and
+// WithModelBuilder replaces the abstract model the members execute. The
+// builder receives the replication factor and must produce a model whose
+// generated machine reacts to the commit message vocabulary (UPDATE, VOTE,
+// COMMIT, FREE, NOT_FREE) — e.g. a commit-protocol variant from the model
+// registry; NewService rejects machines that do not.
+func WithModelBuilder(b func(r int) (core.Model, error)) ServiceOption {
+	return func(s *Service) { s.builder = b }
+}
+
+// NewService generates the peer-set machine for the replication factor and
 // installs an honest member on every overlay node.
 func NewService(net *simnet.Network, ring *chord.Ring, replicationFactor int, opts ...ServiceOption) (*Service, error) {
-	model, err := commit.NewModel(replicationFactor)
+	s := &Service{
+		net:     net,
+		ring:    ring,
+		members: make(map[simnet.NodeID]*Member),
+		r:       replicationFactor,
+		timeout: DefaultAbandonTimeout,
+		builder: func(r int) (core.Model, error) { return commit.NewModel(r) },
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	model, err := s.builder(replicationFactor)
 	if err != nil {
 		return nil, err
 	}
@@ -56,18 +77,11 @@ func NewService(net *simnet.Network, ring *chord.Ring, replicationFactor int, op
 	if err != nil {
 		return nil, fmt.Errorf("version: generate machine: %w", err)
 	}
-	s := &Service{
-		net:     net,
-		ring:    ring,
-		machine: machine,
-		members: make(map[simnet.NodeID]*Member),
-		r:       replicationFactor,
-		f:       model.FaultTolerance(),
-		timeout: DefaultAbandonTimeout,
+	if err := checkCommitVocabulary(machine); err != nil {
+		return nil, err
 	}
-	for _, opt := range opts {
-		opt(s)
-	}
+	s.machine = machine
+	s.f = faultTolerance(model)
 	for _, n := range ring.Nodes() {
 		id := simnet.NodeID(n.Name())
 		member := NewMember(id, machine, HonestMember, s.timeout)
@@ -77,6 +91,32 @@ func NewService(net *simnet.Network, ring *chord.Ring, replicationFactor int, op
 		}
 	}
 	return s, nil
+}
+
+// checkCommitVocabulary verifies the generated machine reacts to the commit
+// protocol's message set; members dispatch exactly these messages, so a
+// machine from an unrelated model family would sit inert on every delivery.
+func checkCommitVocabulary(machine *core.StateMachine) error {
+	have := make(map[string]bool, len(machine.Messages))
+	for _, msg := range machine.Messages {
+		have[msg] = true
+	}
+	for _, msg := range []string{commit.MsgUpdate, commit.MsgVote, commit.MsgCommit, commit.MsgFree, commit.MsgNotFree} {
+		if !have[msg] {
+			return fmt.Errorf("version: model %q does not speak the commit vocabulary (missing %s)",
+				machine.ModelName, msg)
+		}
+	}
+	return nil
+}
+
+// faultTolerance extracts the model's tolerated fault count, falling back to
+// the BFT bound ⌊(r−1)/3⌋ for models that do not expose one.
+func faultTolerance(model core.Model) int {
+	if ft, ok := model.(interface{ FaultTolerance() int }); ok {
+		return ft.FaultTolerance()
+	}
+	return (model.Parameter() - 1) / 3
 }
 
 // Machine returns the generated machine members execute.
