@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"testing"
 
+	"asagen/internal/artifact"
 	"asagen/internal/chord"
 	"asagen/internal/commit"
 	"asagen/internal/commit/commitfsm4"
@@ -154,7 +155,8 @@ func BenchmarkRenderText(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if out := r.Render(machine); len(out) == 0 {
+		art, err := r.Render(machine)
+		if err != nil || len(art.Data) == 0 {
 			b.Fatal("empty artefact")
 		}
 	}
@@ -167,7 +169,8 @@ func BenchmarkRenderDot(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if out := r.Render(machine); len(out) == 0 {
+		art, err := r.Render(machine)
+		if err != nil || len(art.Data) == 0 {
 			b.Fatal("empty artefact")
 		}
 	}
@@ -474,6 +477,75 @@ func BenchmarkGenerationPolicy(b *testing.B) {
 			if _, err := cache.Machine(7); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkRenderAll measures the artefact pipeline over the full
+// registry cross product (E13). "cold" includes every machine generation
+// and render; "warm" measures the fully memoised batch, the steady state
+// of a long-running serve process.
+func BenchmarkRenderAll(b *testing.B) {
+	reqs := artifact.AllRequests()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := artifact.New()
+			for _, res := range p.RenderAll(reqs) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		p := artifact.New()
+		for _, res := range p.RenderAll(reqs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, res := range p.RenderAll(reqs) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkCacheHitMiss isolates the fingerprint-keyed generation cache:
+// a miss pays model fingerprinting plus a full generation, a hit only the
+// fingerprint and the memo lookup.
+func BenchmarkCacheHitMiss(b *testing.B) {
+	model, err := commit.NewModel(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cache := core.NewGenerationCache(core.WithoutDescriptions())
+			if _, err := cache.MachineFor(model); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		cache := core.NewGenerationCache(core.WithoutDescriptions())
+		if _, err := cache.MachineFor(model); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.MachineFor(model); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := cache.Stats(); st.Generations != 1 {
+			b.Fatalf("generations = %d, want 1", st.Generations)
 		}
 	})
 }

@@ -36,7 +36,7 @@ func run(args []string) error {
 	var (
 		nodes     = fs.Int("nodes", 32, "overlay size")
 		r         = fs.Int("r", 4, "replication factor")
-		modelName = fs.String("model", "commit", "peer-set machine model: "+strings.Join(models.Names(), ", "))
+		modelName = fs.String("model", "commit", "peer-set machine model: "+strings.Join(models.NamesWithVocabulary(models.VocabularyCommit), ", "))
 		updates   = fs.Int("updates", 5, "file versions to commit")
 		byzantine = fs.Int("byzantine", 0, "peer-set members to make Byzantine (silent)")
 		seed      = fs.Int64("seed", 1, "simulation seed")
@@ -50,9 +50,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if !entry.CommitVocabulary {
+	if entry.Vocabulary != models.VocabularyCommit {
 		return fmt.Errorf("model %q does not speak the commit vocabulary; the version service can execute: %s",
-			entry.Name, strings.Join(commitFamilyNames(), ", "))
+			entry.Name, strings.Join(models.NamesWithVocabulary(models.VocabularyCommit), ", "))
 	}
 
 	net := simnet.New(*seed)
@@ -131,16 +131,4 @@ func run(args []string) error {
 	fmt.Printf("\nnetwork: %d sent, %d delivered, %d dropped, %d timers, virtual time %v\n",
 		st.Sent, st.Delivered, st.Dropped, st.TimersFired, net.Now())
 	return nil
-}
-
-// commitFamilyNames lists the registered models the version service can
-// execute.
-func commitFamilyNames() []string {
-	var names []string
-	for _, name := range models.Names() {
-		if e, err := models.Get(name); err == nil && e.CommitVocabulary {
-			names = append(names, name)
-		}
-	}
-	return names
 }

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestRunSmallCluster drives the full stack end to end: overlay build,
 // peer-set location, three committed versions, agreed history read-back.
@@ -38,5 +41,24 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-model", "consensus"}); err == nil {
 		t.Error("non-commit-vocabulary model accepted by the version service")
+	}
+}
+
+// TestRejectsNonCommitModelNamingValidSubset: the fail-fast error names
+// exactly the registry subset the version service can execute, so the
+// operator never has to guess which -model values are valid.
+func TestRejectsNonCommitModelNamingValidSubset(t *testing.T) {
+	err := run([]string{"-model", "termination"})
+	if err == nil {
+		t.Fatal("termination model accepted by the version service")
+	}
+	for _, want := range []string{"commit", "commit-redundant", "does not speak the commit vocabulary"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	// The simulation must fail before any network or overlay work.
+	if !strings.Contains(err.Error(), `"termination"`) {
+		t.Errorf("error %q does not name the rejected model", err)
 	}
 }

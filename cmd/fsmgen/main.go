@@ -1,5 +1,5 @@
 // Command fsmgen executes a registered abstract model and renders the
-// generated state machine as one of the paper's artefact types:
+// generated state machine in any registered artefact format:
 //
 //	text      textual state catalogue (Fig. 14)
 //	dot       Graphviz state-transition diagram (Fig. 15)
@@ -13,12 +13,20 @@
 // commit-redundant, consensus, termination); -r is the model parameter
 // (replication factor, process count, or fan-out bound).
 //
+// With -all the command renders the full registry cross product — every
+// registered model in every registered format — concurrently through the
+// artefact pipeline into an output directory, under content-addressed
+// filenames. As the first argument, "serve" starts an HTTP generation
+// service backed by the same pipeline.
+//
 // Examples:
 //
 //	fsmgen -r 4 -format text
 //	fsmgen -model consensus -r 7 -format dot
 //	fsmgen -r 7 -format go -pkg commitfsm7 -o machine_gen.go
 //	fsmgen -model termination -r 13 -format efsm
+//	fsmgen -all -o artifacts
+//	fsmgen serve -addr :8080
 package main
 
 import (
@@ -26,8 +34,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"asagen/internal/artifact"
 	"asagen/internal/commit"
 	"asagen/internal/core"
 	"asagen/internal/models"
@@ -42,22 +52,46 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], stdout)
+	}
+
 	fs := flag.NewFlagSet("fsmgen", flag.ContinueOnError)
 	var (
 		modelName = fs.String("model", "commit", "registered model: "+strings.Join(models.Names(), ", "))
 		r         = fs.Int("r", 0, "model parameter (0 = model default)")
-		format    = fs.String("format", "text", "artefact: text, dot, xml, go, doc, efsm, efsm-dot")
-		pkg       = fs.String("pkg", "commitfsm", "package name for -format go")
-		out       = fs.String("o", "", "output file (stdout when empty)")
+		format    = fs.String("format", "text", "artefact format: "+strings.Join(render.Formats(), ", "))
+		pkg       = fs.String("pkg", "", "package name for -format go (default: derived from the machine)")
+		out       = fs.String("o", "", "output file, or directory for -all (stdout / \"artifacts\" when empty)")
 		variant   = fs.String("variant", "strict", "commit Fig. 9 reading: strict or redundant")
 		stats     = fs.Bool("stats", false, "print generation statistics to stderr")
 		workers   = fs.Int("workers", 1, "parallel frontier-expansion workers")
+		jobs      = fs.Int("jobs", 0, "concurrent render jobs for -all (0 = GOMAXPROCS)")
+		all       = fs.Bool("all", false, "render every registered model in every registered format")
 		noMerge   = fs.Bool("no-merge", false, "skip the equivalent-state merging step")
 		noPrune   = fs.Bool("no-prune", false, "legacy full enumeration instead of reachability-first exploration")
 		noComment = fs.Bool("no-comments", false, "omit generated state commentary")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var genOpts []core.Option
+	if *noMerge {
+		genOpts = append(genOpts, core.WithoutMerging())
+	}
+	if *noPrune {
+		genOpts = append(genOpts, core.WithoutPruning())
+	}
+	if *noComment {
+		genOpts = append(genOpts, core.WithoutDescriptions())
+	}
+	if *workers > 1 {
+		genOpts = append(genOpts, core.WithWorkers(*workers))
+	}
+
+	if *all {
+		return runAll(*out, *jobs, genOpts, stdout)
 	}
 
 	// -variant is the historical way to select the redundant commit
@@ -82,10 +116,12 @@ func run(args []string, stdout io.Writer) error {
 	if param <= 0 {
 		param = entry.DefaultParam
 	}
+	if !render.Known(*format) {
+		return fmt.Errorf("unknown format %q (known: %v)", *format, render.Formats())
+	}
 
-	var artefact string
-	switch *format {
-	case "efsm", "efsm-dot":
+	var art render.Artifact
+	if render.IsEFSMFormat(*format) {
 		if entry.EFSM == nil {
 			return fmt.Errorf("model %q declares no EFSM abstraction", entry.Name)
 		}
@@ -93,28 +129,17 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if *format == "efsm" {
-			artefact = render.RenderEFSMText(efsm)
-		} else {
-			artefact = render.RenderEFSMDot(efsm)
-		}
-	default:
-		model, err := entry.Build(param)
+		renderer, err := render.NewEFSM(*format)
 		if err != nil {
 			return err
 		}
-		var genOpts []core.Option
-		if *noMerge {
-			genOpts = append(genOpts, core.WithoutMerging())
+		if art, err = renderer.RenderEFSM(efsm); err != nil {
+			return err
 		}
-		if *noPrune {
-			genOpts = append(genOpts, core.WithoutPruning())
-		}
-		if *noComment {
-			genOpts = append(genOpts, core.WithoutDescriptions())
-		}
-		if *workers > 1 {
-			genOpts = append(genOpts, core.WithWorkers(*workers))
+	} else {
+		model, err := entry.Build(param)
+		if err != nil {
+			return err
 		}
 		machine, err := core.Generate(model, genOpts...)
 		if err != nil {
@@ -125,35 +150,64 @@ func run(args []string, stdout io.Writer) error {
 			if cm, ok := model.(*commit.Model); ok {
 				line += fmt.Sprintf(" f=%d", cm.FaultTolerance())
 			}
-			fmt.Fprintf(os.Stderr, "%s initial=%d reachable=%d final=%d transitions=%d\n",
+			fmt.Fprintf(os.Stderr, "%s initial=%d reachable=%d final=%d transitions=%d fingerprint=%s\n",
 				line, machine.Stats.InitialStates, machine.Stats.ReachableStates,
-				machine.Stats.FinalStates, machine.TransitionCount())
+				machine.Stats.FinalStates, machine.TransitionCount(),
+				core.FingerprintModel(model, genOpts...).Short())
 		}
-		switch *format {
-		case "text":
-			artefact = render.NewTextRenderer().Render(machine)
-		case "dot":
-			artefact = render.NewDotRenderer().Render(machine)
-		case "xml":
-			artefact, err = render.NewXMLRenderer().Render(machine)
-			if err != nil {
-				return err
-			}
-		case "go":
-			artefact, err = render.NewGoSourceRenderer(*pkg).Render(machine)
-			if err != nil {
-				return err
-			}
-		case "doc":
-			artefact = render.NewDocRenderer().Render(machine)
-		default:
-			return fmt.Errorf("unknown format %q", *format)
+		renderer, err := render.New(*format)
+		if err != nil {
+			return err
+		}
+		if g, ok := renderer.(*render.GoSourceRenderer); ok {
+			g.PackageName = *pkg
+		}
+		if art, err = renderer.Render(machine); err != nil {
+			return err
 		}
 	}
 
 	if *out == "" {
-		_, err := io.WriteString(stdout, artefact)
+		_, err := stdout.Write(art.Data)
 		return err
 	}
-	return os.WriteFile(*out, []byte(artefact), 0o644)
+	return os.WriteFile(*out, art.Data, 0o644)
+}
+
+// runAll renders the full registry cross product through the artefact
+// pipeline into outDir, one content-addressed file per artefact, and
+// prints a manifest line per file plus a cache summary.
+func runAll(outDir string, jobs int, genOpts []core.Option, stdout io.Writer) error {
+	if outDir == "" {
+		outDir = "artifacts"
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	p := artifact.New(
+		artifact.WithJobs(jobs),
+		artifact.WithGenerateOptions(genOpts...),
+	)
+	reqs := artifact.AllRequests()
+	failures := 0
+	for _, res := range p.RenderAll(reqs) {
+		if res.Err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "fsmgen: %s/%s r=%d: %v\n",
+				res.Request.Model, res.Request.Format, res.Request.Param, res.Err)
+			continue
+		}
+		path := filepath.Join(outDir, res.FileName())
+		if err := os.WriteFile(path, res.Artifact.Data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d bytes)\n", path, len(res.Artifact.Data))
+	}
+	st := p.Stats()
+	fmt.Fprintf(stdout, "%d artifacts, %d generations, %d render hits, %d render misses\n",
+		len(reqs)-failures, st.Machine.Generations, st.RenderHits, st.RenderMisses)
+	if failures > 0 {
+		return fmt.Errorf("%d artifacts failed to render", failures)
+	}
+	return nil
 }

@@ -95,3 +95,64 @@ func TestGeneratedGoMatchesCheckedIn(t *testing.T) {
 		t.Error("fsmgen output differs from checked-in commitfsm4; regenerate it")
 	}
 }
+
+// TestRunAllMatchesPerFormatInvocations: -all writes every (model ×
+// format) artefact, and the bytes are bit-identical to the corresponding
+// single-format invocation.
+func TestRunAllMatchesPerFormatInvocations(t *testing.T) {
+	dir := t.TempDir()
+	var manifest strings.Builder
+	if err := run([]string{"-all", "-o", dir}, &manifest); err != nil {
+		t.Fatalf("run -all: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 models × 5 machine formats + 4 EFSM-capable models × 2 EFSM formats.
+	if len(entries) != 28 {
+		t.Fatalf("-all wrote %d files, want 28", len(entries))
+	}
+	if got := strings.Count(manifest.String(), "wrote "); got != 28 {
+		t.Errorf("manifest lists %d files, want 28", got)
+	}
+
+	perFormat := func(args ...string) string {
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		return sb.String()
+	}
+	comparisons := []struct {
+		prefix string
+		args   []string
+	}{
+		{"commit-r4.text.", []string{"-model", "commit", "-format", "text"}},
+		{"commit-r4.go.", []string{"-model", "commit", "-format", "go"}},
+		{"consensus-r5.dot.", []string{"-model", "consensus", "-format", "dot"}},
+		{"termination-r4.xml.", []string{"-model", "termination", "-format", "xml"}},
+		{"commit-redundant-r4.doc.", []string{"-model", "commit-redundant", "-format", "doc"}},
+		{"commit-r4.efsm.", []string{"-model", "commit", "-format", "efsm"}},
+	}
+	for _, c := range comparisons {
+		var path string
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), c.prefix) {
+				path = filepath.Join(dir, e.Name())
+				break
+			}
+		}
+		if path == "" {
+			t.Errorf("no -all artefact with prefix %q", c.prefix)
+			continue
+		}
+		batch, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(batch) != perFormat(c.args...) {
+			t.Errorf("%s differs from per-format invocation %v", path, c.args)
+		}
+	}
+}

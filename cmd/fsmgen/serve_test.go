@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"asagen/internal/artifact"
+)
+
+func serveGet(t *testing.T, ts *httptest.Server, path string, header http.Header) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestServeMachineEndpoint(t *testing.T) {
+	p := artifact.New()
+	ts := httptest.NewServer(newServeHandler(p))
+	defer ts.Close()
+
+	resp, body := serveGet(t, ts, "/machine/commit?format=dot&r=4", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.HasPrefix(body, "digraph") {
+		t.Errorf("body is not a DOT document: %.40s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "graphviz") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" || resp.Header.Get("X-Machine-Fingerprint") == "" {
+		t.Error("missing ETag or fingerprint header")
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "max-age") {
+		t.Errorf("Cache-Control = %q", cc)
+	}
+
+	// Conditional revalidation answers 304 from the fingerprint-derived
+	// validator without a body.
+	resp2, body2 := serveGet(t, ts, "/machine/commit?format=dot&r=4",
+		http.Header{"If-None-Match": []string{etag}})
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Errorf("revalidation status = %d, want 304", resp2.StatusCode)
+	}
+	if body2 != "" {
+		t.Errorf("304 carried a body (%d bytes)", len(body2))
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	ts := httptest.NewServer(newServeHandler(artifact.New()))
+	defer ts.Close()
+	tests := []struct {
+		path string
+		want int
+	}{
+		{"/machine/nonsense", http.StatusNotFound},
+		{"/machine/commit?format=nonsense", http.StatusBadRequest},
+		{"/machine/commit?r=notanumber", http.StatusBadRequest},
+		{"/machine/commit?r=3", http.StatusBadRequest}, // below the model minimum
+		{"/nonsense", http.StatusNotFound},
+	}
+	for _, tt := range tests {
+		resp, _ := serveGet(t, ts, tt.path, nil)
+		if resp.StatusCode != tt.want {
+			t.Errorf("GET %s = %d, want %d", tt.path, resp.StatusCode, tt.want)
+		}
+	}
+}
+
+// TestServeConcurrentSingleGeneration is the serve-mode acceptance check:
+// concurrent requests across formats and repeats of one model cost at most
+// one generation per distinct model fingerprint, observed via cache stats.
+func TestServeConcurrentSingleGeneration(t *testing.T) {
+	p := artifact.New()
+	ts := httptest.NewServer(newServeHandler(p))
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		for _, format := range []string{"text", "dot", "xml", "go", "doc"} {
+			wg.Add(1)
+			go func(format string) {
+				defer wg.Done()
+				resp, body := serveGet(t, ts, "/machine/consensus?format="+format+"&r=5", nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d: %s", format, resp.StatusCode, body)
+				}
+			}(format)
+		}
+	}
+	wg.Wait()
+
+	st := p.Stats()
+	if st.Machine.Generations != 1 {
+		t.Errorf("generations = %d, want 1 for one distinct fingerprint", st.Machine.Generations)
+	}
+
+	// The stats endpoint reports the same counters.
+	resp, body := serveGet(t, ts, "/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var got artifact.Stats
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if got.Machine.Generations != 1 {
+		t.Errorf("reported generations = %d, want 1", got.Machine.Generations)
+	}
+}
+
+func TestServeModelAndFormatListings(t *testing.T) {
+	ts := httptest.NewServer(newServeHandler(artifact.New()))
+	defer ts.Close()
+
+	resp, body := serveGet(t, ts, "/models", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("models status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{"commit", "consensus", "termination", "replication factor"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/models missing %q", want)
+		}
+	}
+
+	resp, body = serveGet(t, ts, "/formats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("formats status = %d", resp.StatusCode)
+	}
+	var formats []string
+	if err := json.Unmarshal([]byte(body), &formats); err != nil {
+		t.Fatalf("formats JSON: %v", err)
+	}
+	if len(formats) != 7 {
+		t.Errorf("formats = %v, want 7 entries", formats)
+	}
+}
+
+// TestServeEquivalentParamsShareOneGeneration: distinct requests that
+// resolve to the same fingerprint (the default parameter given explicitly
+// and implicitly) share one cache entry.
+func TestServeEquivalentParamsShareOneGeneration(t *testing.T) {
+	p := artifact.New()
+	ts := httptest.NewServer(newServeHandler(p))
+	defer ts.Close()
+	for _, path := range []string{
+		"/machine/termination",
+		"/machine/termination?r=4",
+		fmt.Sprintf("/machine/termination?r=%d", 4),
+	} {
+		if resp, body := serveGet(t, ts, path, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d %s", path, resp.StatusCode, body)
+		}
+	}
+	if st := p.Stats(); st.Machine.Generations != 1 {
+		t.Errorf("generations = %d, want 1", st.Machine.Generations)
+	}
+}

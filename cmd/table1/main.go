@@ -82,7 +82,7 @@ func run(args []string) error {
 		genOpts = append(genOpts, core.WithWorkers(*workers))
 	}
 
-	commitFamily := entry.CommitVocabulary
+	commitFamily := entry.Vocabulary == models.VocabularyCommit
 	if !commitFamily {
 		*showPaper = false
 	}

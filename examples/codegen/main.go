@@ -2,7 +2,9 @@
 // abstract model execution — textual catalogue (Fig. 14), Graphviz and XML
 // diagrams (Fig. 15), a compilable Go protocol implementation (Fig. 16),
 // markdown documentation, and the nine-state EFSM of §5.3 — into an output
-// directory. Any model in the registry can be rendered.
+// directory. Any model in the registry can be rendered; the requests run
+// through the artefact pipeline, so the machine is generated exactly once
+// however many formats consume it.
 //
 //	go run ./examples/codegen [-model commit] [-r 7] [-out artefacts]
 //	go run ./examples/codegen -model termination -r 4
@@ -16,7 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"asagen/internal/core"
+	"asagen/internal/artifact"
 	"asagen/internal/models"
 	"asagen/internal/render"
 )
@@ -36,70 +38,34 @@ func run(modelName string, r int, outDir string) error {
 	if err != nil {
 		return err
 	}
-	model, err := entry.Model(r)
-	if err != nil {
-		return err
-	}
-	machine, err := core.Generate(model)
-	if err != nil {
-		return err
-	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
 
-	write := func(name, content string) error {
-		path := filepath.Join(outDir, name)
-		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			return err
+	// One request per registered format; the pipeline renders them
+	// concurrently against a single memoised generation.
+	var reqs []artifact.Request
+	for _, format := range render.Formats() {
+		if render.IsEFSMFormat(format) && entry.EFSM == nil {
+			continue
 		}
-		fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
-		return nil
+		reqs = append(reqs, artifact.Request{Model: entry.Name, Param: r, Format: format})
 	}
 
-	base := fmt.Sprintf("%s-p%d", entry.Name, model.Parameter())
-	if err := write(base+".txt", render.NewTextRenderer().Render(machine)); err != nil {
-		return err
-	}
-	if err := write(base+".dot", render.NewDotRenderer().Render(machine)); err != nil {
-		return err
-	}
-	xml, err := render.NewXMLRenderer().Render(machine)
-	if err != nil {
-		return err
-	}
-	if err := write(base+".xml", xml); err != nil {
-		return err
-	}
-	pkg := fmt.Sprintf("%sfsm%d", strings.ReplaceAll(entry.Name, "-", ""), model.Parameter())
-	src, err := render.NewGoSourceRenderer(pkg).Render(machine)
-	if err != nil {
-		return err
-	}
-	if err := write(pkg+".go", src); err != nil {
-		return err
-	}
-	if err := write(base+".md", render.NewDocRenderer().Render(machine)); err != nil {
-		return err
+	p := artifact.New()
+	for _, res := range p.RenderAll(reqs) {
+		if res.Err != nil {
+			return fmt.Errorf("%s/%s: %w", res.Request.Model, res.Request.Format, res.Err)
+		}
+		path := filepath.Join(outDir, res.FileName())
+		if err := os.WriteFile(path, res.Artifact.Data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(res.Artifact.Data))
 	}
 
-	// The EFSM formulation: a fixed-size machine generic in the parameter.
-	efsmStates := 0
-	if entry.EFSM != nil {
-		efsm, err := entry.EFSM(model.Parameter())
-		if err != nil {
-			return err
-		}
-		if err := write(entry.Name+"-efsm.txt", render.RenderEFSMText(efsm)); err != nil {
-			return err
-		}
-		if err := write(entry.Name+"-efsm.dot", render.RenderEFSMDot(efsm)); err != nil {
-			return err
-		}
-		efsmStates = len(efsm.States)
-	}
-
-	fmt.Printf("\nmachine: %d states, %d transitions; EFSM: %d states (generic in the parameter)\n",
-		len(machine.States), machine.TransitionCount(), efsmStates)
+	st := p.Stats()
+	fmt.Printf("\n%d artefacts from %d machine generation(s); render hits/misses %d/%d\n",
+		len(reqs), st.Machine.Generations, st.RenderHits, st.RenderMisses)
 	return nil
 }

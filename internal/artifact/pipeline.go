@@ -1,0 +1,366 @@
+// Package artifact is the unified artefact pipeline: it takes
+// (model × format) requests, memoises machine generation per model
+// fingerprint in a content-addressed cache, renders formats concurrently
+// under a bounded worker pool, and exposes batch (RenderAll) and streaming
+// (Stream) APIs. It is the layer behind `fsmgen -all`, `fsmgen serve` and
+// the codegen example: one generation per distinct fingerprint no matter
+// how many formats or concurrent requests consume it (§4.2's cached
+// generation policy, industrialised).
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"asagen/internal/core"
+	"asagen/internal/models"
+	"asagen/internal/render"
+)
+
+// Errors classifying request failures, for callers (such as the serve
+// endpoint) that map them to protocol responses.
+var (
+	// ErrUnknownModel reports a model name absent from the registry.
+	ErrUnknownModel = errors.New("artifact: unknown model")
+	// ErrUnknownFormat reports a format name absent from the registry.
+	ErrUnknownFormat = errors.New("artifact: unknown format")
+	// ErrNoEFSM reports an EFSM format requested for a model that
+	// declares no EFSM abstraction.
+	ErrNoEFSM = errors.New("artifact: model declares no EFSM abstraction")
+	// ErrRender wraps a renderer failure on a well-formed request — a
+	// server-side defect, as opposed to the request-classification errors
+	// above.
+	ErrRender = errors.New("artifact: render failed")
+)
+
+// Request names one artefact: a registered model, a parameter value
+// (<= 0 selects the model's default) and a registered format.
+type Request struct {
+	Model  string
+	Param  int
+	Format string
+}
+
+// Result is the outcome of one request.
+type Result struct {
+	// Request echoes the request with Param resolved to the effective
+	// parameter value.
+	Request Request
+	// Fingerprint is the generated machine's model fingerprint; zero for
+	// EFSM formats, which bypass machine generation.
+	Fingerprint core.Fingerprint
+	// Artifact is the rendered artefact; zero when Err is set.
+	Artifact render.Artifact
+	// Sum is the SHA-256 of the artefact content, for content addressing.
+	Sum [sha256.Size]byte
+	// Err is the failure, classified by the package's sentinel errors.
+	Err error
+}
+
+// ContentHash returns the hex SHA-256 of the artefact content.
+func (r Result) ContentHash() string { return hex.EncodeToString(r.Sum[:]) }
+
+// FileName returns a content-addressed filename:
+// <model>-r<param>.<format>.<hash12><ext>. Equal content always maps to
+// the same name, so re-running a batch never duplicates artefacts.
+func (r Result) FileName() string {
+	return fmt.Sprintf("%s-r%d.%s.%s%s",
+		r.Request.Model, r.Request.Param, r.Request.Format,
+		hex.EncodeToString(r.Sum[:6]), r.Artifact.Ext)
+}
+
+// Stats is a snapshot of the pipeline's caches.
+type Stats struct {
+	// Machine reports the generation cache: at most one generation per
+	// distinct model fingerprint, however many formats consume it.
+	Machine core.CacheStats
+	// RenderHits and RenderMisses count rendered-artefact memo lookups.
+	RenderHits, RenderMisses int64
+}
+
+// Pipeline renders (model × format) requests with memoised generation and
+// rendering. It is safe for concurrent use.
+type Pipeline struct {
+	jobs    int
+	genOpts []core.Option
+	cache   *core.Cache
+
+	mu      sync.Mutex
+	efsms   map[efsmKey]*efsmEntry
+	renders map[renderKey]*renderEntry
+
+	renderHits, renderMisses int64
+}
+
+type efsmKey struct {
+	model string
+	param int
+}
+
+type efsmEntry struct {
+	once sync.Once
+	efsm *core.EFSM
+	err  error
+}
+
+// renderKey addresses one rendered artefact. Machine formats are keyed by
+// fingerprint — two models with equal fingerprints share the rendered
+// bytes — while EFSM formats, which have no machine fingerprint, are keyed
+// by (model, param).
+type renderKey struct {
+	fp     core.Fingerprint
+	model  string
+	param  int
+	format string
+}
+
+type renderEntry struct {
+	once sync.Once
+	art  render.Artifact
+	sum  [sha256.Size]byte
+	err  error
+}
+
+// Option configures a Pipeline.
+type Option func(*Pipeline)
+
+// WithJobs bounds the worker pool used by RenderAll and Stream. Values
+// below 1 select GOMAXPROCS.
+func WithJobs(n int) Option {
+	return func(p *Pipeline) {
+		if n >= 1 {
+			p.jobs = n
+		}
+	}
+}
+
+// WithGenerateOptions sets the core generation options applied to every
+// machine the pipeline generates. They become part of the fingerprint, so
+// pipelines with different options never share cache entries.
+func WithGenerateOptions(opts ...core.Option) Option {
+	return func(p *Pipeline) { p.genOpts = append([]core.Option(nil), opts...) }
+}
+
+// WithCache substitutes a caller-owned generation cache, e.g. one shared
+// with the version service. Overrides WithGenerateOptions.
+func WithCache(c *core.Cache) Option {
+	return func(p *Pipeline) { p.cache = c }
+}
+
+// New returns a pipeline with the given options.
+func New(opts ...Option) *Pipeline {
+	p := &Pipeline{
+		jobs:    runtime.GOMAXPROCS(0),
+		efsms:   make(map[efsmKey]*efsmEntry),
+		renders: make(map[renderKey]*renderEntry),
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	if p.cache == nil {
+		p.cache = core.NewGenerationCache(p.genOpts...)
+	}
+	return p
+}
+
+// Cache returns the pipeline's generation cache, e.g. to bound it with
+// SetLimit for a long-running serve process.
+func (p *Pipeline) Cache() *core.Cache { return p.cache }
+
+// Stats returns a snapshot of the pipeline's cache counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Machine:      p.cache.Stats(),
+		RenderHits:   p.renderHits,
+		RenderMisses: p.renderMisses,
+	}
+}
+
+// Purge drops every memoised machine, EFSM and rendered artefact.
+func (p *Pipeline) Purge() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cache.Purge()
+	p.efsms = make(map[efsmKey]*efsmEntry)
+	p.renders = make(map[renderKey]*renderEntry)
+}
+
+// Render produces the artefact for one request. Generation is memoised
+// per model fingerprint and rendering per (fingerprint, format), both
+// single-flight: concurrent first requests share one computation.
+func (p *Pipeline) Render(req Request) Result {
+	res := Result{Request: req}
+	entry, err := models.Get(req.Model)
+	if err != nil {
+		res.Err = fmt.Errorf("%w: %q (known: %v)", ErrUnknownModel, req.Model, models.Names())
+		return res
+	}
+	if req.Param <= 0 {
+		req.Param = entry.DefaultParam
+		res.Request = req
+	}
+	if !render.Known(req.Format) {
+		res.Err = fmt.Errorf("%w: %q (known: %v)", ErrUnknownFormat, req.Format, render.Formats())
+		return res
+	}
+
+	if render.IsEFSMFormat(req.Format) {
+		if entry.EFSM == nil {
+			res.Err = fmt.Errorf("%w: %q", ErrNoEFSM, req.Model)
+			return res
+		}
+		efsm, err := p.efsmFor(entry, req.Param)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		key := renderKey{model: req.Model, param: req.Param, format: req.Format}
+		res.Artifact, res.Sum, res.Err = p.renderMemo(key, func() (render.Artifact, error) {
+			r, err := render.NewEFSM(req.Format)
+			if err != nil {
+				return render.Artifact{}, err
+			}
+			return r.RenderEFSM(efsm)
+		})
+		if res.Err != nil {
+			res.Err = fmt.Errorf("%w: %v", ErrRender, res.Err)
+		}
+		return res
+	}
+
+	model, err := entry.Build(req.Param)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Fingerprint = p.cache.Fingerprint(model)
+	machine, err := p.cache.MachineForFingerprint(res.Fingerprint, model)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	key := renderKey{fp: res.Fingerprint, format: req.Format}
+	res.Artifact, res.Sum, res.Err = p.renderMemo(key, func() (render.Artifact, error) {
+		r, err := render.New(req.Format)
+		if err != nil {
+			return render.Artifact{}, err
+		}
+		return r.Render(machine)
+	})
+	if res.Err != nil {
+		res.Err = fmt.Errorf("%w: %v", ErrRender, res.Err)
+	}
+	return res
+}
+
+// efsmFor memoises the EFSM generalisation per (model, param).
+func (p *Pipeline) efsmFor(entry models.Entry, param int) (*core.EFSM, error) {
+	key := efsmKey{model: entry.Name, param: param}
+	p.mu.Lock()
+	e, ok := p.efsms[key]
+	if !ok {
+		e = &efsmEntry{}
+		p.efsms[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() { e.efsm, e.err = entry.EFSM(param) })
+	return e.efsm, e.err
+}
+
+// renderMemo memoises one rendered artefact, single-flight.
+func (p *Pipeline) renderMemo(key renderKey, produce func() (render.Artifact, error)) (render.Artifact, [sha256.Size]byte, error) {
+	p.mu.Lock()
+	e, ok := p.renders[key]
+	if ok {
+		p.renderHits++
+	} else {
+		p.renderMisses++
+		e = &renderEntry{}
+		p.renders[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() {
+		e.art, e.err = produce()
+		if e.err == nil {
+			e.sum = sha256.Sum256(e.art.Data)
+		}
+	})
+	return e.art, e.sum, e.err
+}
+
+// RenderAll renders every request concurrently under the pipeline's
+// worker bound and returns the results in request order.
+func (p *Pipeline) RenderAll(reqs []Request) []Result {
+	results := make([]Result, len(reqs))
+	p.each(reqs, func(i int, res Result) { results[i] = res })
+	return results
+}
+
+// Stream renders every request concurrently and delivers results on the
+// returned channel as they complete, in arbitrary order. The channel is
+// closed once all requests are done. It is buffered for the full request
+// count, so a consumer that stops reading early strands at most the
+// remaining renders' memory — never the worker goroutines.
+func (p *Pipeline) Stream(reqs []Request) <-chan Result {
+	out := make(chan Result, len(reqs))
+	go func() {
+		defer close(out)
+		p.each(reqs, func(_ int, res Result) { out <- res })
+	}()
+	return out
+}
+
+// each runs Render for every request on a bounded worker pool. deliver
+// must be safe for concurrent calls with distinct indices (slice writes to
+// distinct elements and channel sends both are).
+func (p *Pipeline) each(reqs []Request, deliver func(i int, res Result)) {
+	workers := min(p.jobs, len(reqs))
+	if workers < 1 {
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				deliver(i, p.Render(reqs[i]))
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// AllRequests is the full registry cross product: every registered model
+// (at its default parameter) in every registered format, skipping EFSM
+// formats for models that declare no EFSM abstraction. Requests are
+// ordered by model name, then format name.
+func AllRequests() []Request {
+	var reqs []Request
+	for _, name := range models.Names() {
+		entry, err := models.Get(name)
+		if err != nil {
+			continue
+		}
+		for _, format := range render.Formats() {
+			if render.IsEFSMFormat(format) && entry.EFSM == nil {
+				continue
+			}
+			reqs = append(reqs, Request{Model: name, Format: format})
+		}
+	}
+	return reqs
+}

@@ -1,0 +1,171 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"asagen/internal/core"
+	"asagen/internal/models"
+	"asagen/internal/render"
+)
+
+// TestCrossProductRenders is the registry cross-product golden test:
+// every registered model must render in every registered format without
+// error, and the machine must be generated exactly once per model.
+func TestCrossProductRenders(t *testing.T) {
+	reqs := AllRequests()
+	wantLen := 0
+	for _, name := range models.Names() {
+		entry, err := models.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLen += len(render.MachineFormats())
+		if entry.EFSM != nil {
+			wantLen += len(render.EFSMFormats())
+		}
+	}
+	if len(reqs) != wantLen {
+		t.Fatalf("AllRequests() = %d requests, want %d", len(reqs), wantLen)
+	}
+
+	p := New()
+	results := p.RenderAll(reqs)
+	if len(results) != len(reqs) {
+		t.Fatalf("RenderAll returned %d results for %d requests", len(results), len(reqs))
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			t.Errorf("%s/%s: %v", res.Request.Model, res.Request.Format, res.Err)
+			continue
+		}
+		if len(res.Artifact.Data) == 0 {
+			t.Errorf("%s/%s: empty artefact", res.Request.Model, res.Request.Format)
+		}
+		if res.Request.Param <= 0 {
+			t.Errorf("%s/%s: parameter not resolved", res.Request.Model, res.Request.Format)
+		}
+		if !render.IsEFSMFormat(res.Request.Format) && res.Fingerprint.IsZero() {
+			t.Errorf("%s/%s: missing fingerprint", res.Request.Model, res.Request.Format)
+		}
+		if !strings.Contains(res.FileName(), res.Request.Model) ||
+			!strings.HasSuffix(res.FileName(), res.Artifact.Ext) {
+			t.Errorf("malformed content-addressed name %q", res.FileName())
+		}
+	}
+	st := p.Stats()
+	if want := int64(len(models.Names())); st.Machine.Generations != want {
+		t.Errorf("generations = %d, want %d (one per model)", st.Machine.Generations, want)
+	}
+	if st.RenderHits != 0 || st.RenderMisses != int64(len(reqs)) {
+		t.Errorf("render hits/misses = %d/%d, want 0/%d", st.RenderHits, st.RenderMisses, len(reqs))
+	}
+}
+
+// TestDeterminism: fingerprints and rendered bytes are identical across
+// pipeline runs and across WithWorkers settings of the generation core.
+func TestDeterminism(t *testing.T) {
+	reqs := AllRequests()
+	configs := []struct {
+		name string
+		opts []Option
+	}{
+		{"serial", nil},
+		{"jobs-1", []Option{WithJobs(1)}},
+		{"workers-4", []Option{WithGenerateOptions(core.WithWorkers(4)), WithJobs(8)}},
+	}
+	var base []Result
+	for _, cfg := range configs {
+		results := New(cfg.opts...).RenderAll(reqs)
+		if base == nil {
+			base = results
+			// A second run of an identical fresh pipeline must agree too.
+			results = New(cfg.opts...).RenderAll(reqs)
+		}
+		for i, res := range results {
+			if res.Err != nil {
+				t.Fatalf("%s: %s/%s: %v", cfg.name, res.Request.Model, res.Request.Format, res.Err)
+			}
+			if res.Fingerprint != base[i].Fingerprint {
+				t.Errorf("%s: %s/%s: fingerprint diverged", cfg.name, res.Request.Model, res.Request.Format)
+			}
+			if res.Sum != base[i].Sum || !bytes.Equal(res.Artifact.Data, base[i].Artifact.Data) {
+				t.Errorf("%s: %s/%s: rendered bytes diverged", cfg.name, res.Request.Model, res.Request.Format)
+			}
+		}
+	}
+}
+
+// TestConcurrentSingleFlight: many concurrent requests across formats of
+// one model cost exactly one generation.
+func TestConcurrentSingleFlight(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	formats := render.MachineFormats()
+	for i := 0; i < 8; i++ {
+		for _, format := range formats {
+			wg.Add(1)
+			go func(format string) {
+				defer wg.Done()
+				if res := p.Render(Request{Model: "commit", Format: format}); res.Err != nil {
+					t.Errorf("%s: %v", format, res.Err)
+				}
+			}(format)
+		}
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Machine.Generations != 1 {
+		t.Errorf("generations = %d, want 1 for one distinct fingerprint", st.Machine.Generations)
+	}
+	if st.RenderMisses != int64(len(formats)) {
+		t.Errorf("render misses = %d, want %d (one per format)", st.RenderMisses, len(formats))
+	}
+}
+
+func TestStreamDeliversAll(t *testing.T) {
+	reqs := AllRequests()
+	p := New(WithJobs(4))
+	seen := map[Request]bool{}
+	for res := range p.Stream(reqs) {
+		if res.Err != nil {
+			t.Errorf("%s/%s: %v", res.Request.Model, res.Request.Format, res.Err)
+		}
+		seen[res.Request] = true
+	}
+	if len(seen) != len(reqs) {
+		t.Errorf("stream delivered %d distinct results, want %d", len(seen), len(reqs))
+	}
+}
+
+func TestRequestErrors(t *testing.T) {
+	p := New()
+	if res := p.Render(Request{Model: "nonsense", Format: "text"}); !errors.Is(res.Err, ErrUnknownModel) {
+		t.Errorf("unknown model: %v", res.Err)
+	}
+	if res := p.Render(Request{Model: "commit", Format: "nonsense"}); !errors.Is(res.Err, ErrUnknownFormat) {
+		t.Errorf("unknown format: %v", res.Err)
+	}
+	if res := p.Render(Request{Model: "commit", Param: 3, Format: "text"}); res.Err == nil {
+		t.Error("invalid parameter accepted")
+	}
+}
+
+// TestPurgeForcesRegeneration: after Purge the same request regenerates.
+func TestPurgeForcesRegeneration(t *testing.T) {
+	p := New()
+	req := Request{Model: "termination", Format: "dot"}
+	if res := p.Render(req); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	p.Purge()
+	if res := p.Render(req); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if st := p.Stats(); st.Machine.Generations != 2 {
+		t.Errorf("generations = %d after purge, want 2", st.Machine.Generations)
+	}
+}

@@ -93,7 +93,7 @@ func TestGeneratedSourceIsCurrent(t *testing.T) {
 		t.Fatalf("Render: %v", err)
 	}
 	checked := readFile(t, "commitfsm4/machine.go")
-	if src != checked {
+	if src.String() != checked {
 		t.Error("internal/commit/commitfsm4/machine.go is stale: regenerate with " +
 			"`go run ./cmd/fsmgen -r 4 -format go -pkg commitfsm4 -o internal/commit/commitfsm4/machine.go`")
 	}

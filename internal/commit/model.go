@@ -201,6 +201,15 @@ func (m *Model) CommitThreshold() int { return m.f + 1 }
 // Name implements core.Model.
 func (m *Model) Name() string { return "bft-commit" }
 
+// FingerprintExtra implements core.Fingerprinter: the Fig. 9 variant
+// changes the transition logic without changing the declared structure, so
+// it must be part of the model's cache identity — the strict and redundant
+// readings share name, components and messages yet generate different
+// pre-merge machines.
+func (m *Model) FingerprintExtra() []string {
+	return []string{fmt.Sprintf("fig9-variant:%+v", m.variant)}
+}
+
 // Parameter implements core.Model.
 func (m *Model) Parameter() int { return m.r }
 

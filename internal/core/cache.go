@@ -11,28 +11,70 @@ import (
 // encountered. For the last policy the paper suggests caching generated
 // implementations so regeneration is amortised; Cache provides that,
 // safely under concurrent use.
+//
+// The cache is keyed by model fingerprint (see fingerprint.go), not by the
+// raw parameter value: any two models that would generate bit-identical
+// machines — regardless of how they were constructed — share one entry,
+// and a long-running generation service can bound and observe the cache
+// through SetLimit, Purge and Stats.
 
 // ModelFactory constructs the abstract model for a parameter value, e.g.
 // the commit model for a replication factor.
 type ModelFactory func(parameter int) (Model, error)
 
-// Cache generates machines on demand and memoises them per parameter
-// value, so that dynamic changes to the parameter (a new replication
-// factor, §4.2) pay the generation cost once.
+// CacheStats is a snapshot of the cache's counters.
+type CacheStats struct {
+	// Hits counts lookups answered from a memoised entry.
+	Hits int64
+	// Misses counts lookups that created a new entry.
+	Misses int64
+	// Evictions counts entries dropped by the size bound.
+	Evictions int64
+	// Generations counts actual machine generations performed. Under
+	// concurrent first use of one fingerprint this stays at one: the
+	// in-flight generation is shared (single-flight).
+	Generations int64
+	// Entries is the current number of memoised machines.
+	Entries int
+}
+
+// Cache generates machines on demand and memoises them per model
+// fingerprint, so that dynamic changes to the parameter (a new replication
+// factor, §4.2) pay the generation cost once. Concurrent first requests
+// for the same fingerprint share a single in-flight generation.
 type Cache struct {
 	factory ModelFactory
 	opts    []Option
 
-	mu       sync.Mutex
-	machines map[int]*cacheEntry
+	mu    sync.Mutex
+	limit int
+	// entries memoises generation per model fingerprint; order tracks
+	// recency (front = least recently used) for the size bound.
+	entries map[Fingerprint]*cacheEntry
+	order   []Fingerprint
+	// params memoises the factory per parameter value, so repeated
+	// Machine calls neither rebuild the model nor re-run a failing
+	// factory, and concurrent first calls invoke the factory once.
+	params map[int]*paramEntry
+
+	hits, misses, evictions, generations int64
 }
 
 // cacheEntry memoises one generation, sharing the work among concurrent
-// first requests for the same parameter.
+// first requests for the same fingerprint.
 type cacheEntry struct {
 	once    sync.Once
 	machine *StateMachine
 	err     error
+}
+
+// paramEntry memoises one factory invocation and the resulting model
+// fingerprint.
+type paramEntry struct {
+	once  sync.Once
+	fp    Fingerprint
+	model Model
+	err   error
 }
 
 // NewCache returns a cache that builds models with the factory and
@@ -41,42 +83,169 @@ func NewCache(factory ModelFactory, opts ...Option) (*Cache, error) {
 	if factory == nil {
 		return nil, fmt.Errorf("core: cache: nil model factory")
 	}
+	c := NewGenerationCache(opts...)
+	c.factory = factory
+	return c, nil
+}
+
+// NewGenerationCache returns a cache without a parameter factory: machines
+// are requested through MachineFor with caller-constructed models. The
+// artefact pipeline uses this form, since it generates machines for many
+// registered models rather than one parameterised family.
+func NewGenerationCache(opts ...Option) *Cache {
 	return &Cache{
-		factory:  factory,
-		opts:     append([]Option(nil), opts...),
-		machines: make(map[int]*cacheEntry),
-	}, nil
+		opts:    append([]Option(nil), opts...),
+		entries: make(map[Fingerprint]*cacheEntry),
+		params:  make(map[int]*paramEntry),
+	}
+}
+
+// Fingerprint returns the cache key for the model: its fingerprint under
+// the cache's generation options.
+func (c *Cache) Fingerprint(m Model) Fingerprint {
+	return FingerprintModel(m, c.opts...)
 }
 
 // Machine returns the generated machine for the parameter, generating it
 // on first use. Errors are memoised too: a parameter the factory rejects
 // keeps being rejected without repeated work.
 func (c *Cache) Machine(parameter int) (*StateMachine, error) {
+	if c.factory == nil {
+		return nil, fmt.Errorf("core: cache has no model factory; use MachineFor")
+	}
 	c.mu.Lock()
-	entry, ok := c.machines[parameter]
+	pe, ok := c.params[parameter]
 	if !ok {
+		pe = &paramEntry{}
+		c.params[parameter] = pe
+	}
+	c.mu.Unlock()
+
+	pe.once.Do(func() {
+		model, err := c.factory(parameter)
+		var fp Fingerprint
+		if err == nil {
+			fp = c.Fingerprint(model)
+		}
+		// Stored under the cache mutex so Invalidate can read fp while a
+		// first call is still in flight.
+		c.mu.Lock()
+		pe.model, pe.err, pe.fp = model, err, fp
+		c.mu.Unlock()
+	})
+	if pe.err != nil {
+		return nil, pe.err
+	}
+	return c.machineFor(pe.fp, pe.model)
+}
+
+// MachineFor returns the generated machine for an already-constructed
+// model, memoised by the model's fingerprint. Two distinct model values
+// with equal fingerprints share one generation and one machine.
+func (c *Cache) MachineFor(m Model) (*StateMachine, error) {
+	return c.machineFor(c.Fingerprint(m), m)
+}
+
+// MachineForFingerprint is MachineFor with the fingerprint precomputed by
+// the caller (it must be c.Fingerprint(m)), so callers that also need the
+// fingerprint — e.g. for cache headers — hash the model once per request.
+func (c *Cache) MachineForFingerprint(fp Fingerprint, m Model) (*StateMachine, error) {
+	return c.machineFor(fp, m)
+}
+
+func (c *Cache) machineFor(fp Fingerprint, m Model) (*StateMachine, error) {
+	c.mu.Lock()
+	entry, ok := c.entries[fp]
+	if ok {
+		c.hits++
+		c.touchLocked(fp)
+	} else {
+		c.misses++
 		entry = &cacheEntry{}
-		c.machines[parameter] = entry
+		c.entries[fp] = entry
+		c.order = append(c.order, fp)
+		c.evictLocked()
 	}
 	c.mu.Unlock()
 
 	entry.once.Do(func() {
-		model, err := c.factory(parameter)
-		if err != nil {
-			entry.err = err
-			return
-		}
-		entry.machine, entry.err = Generate(model, c.opts...)
+		entry.machine, entry.err = Generate(m, c.opts...)
+		c.mu.Lock()
+		c.generations++
+		c.mu.Unlock()
 	})
 	return entry.machine, entry.err
 }
 
-// Len returns the number of memoised parameters (including memoised
-// failures).
+// touchLocked moves fp to the most-recently-used end of the recency list.
+func (c *Cache) touchLocked(fp Fingerprint) {
+	for i, o := range c.order {
+		if o == fp {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = fp
+			return
+		}
+	}
+}
+
+// evictLocked drops least-recently-used entries until the size bound is
+// met. Goroutines still waiting on an evicted entry's generation complete
+// normally; the entry is simply no longer findable.
+func (c *Cache) evictLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	for len(c.entries) > c.limit && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		if _, ok := c.entries[victim]; ok {
+			delete(c.entries, victim)
+			c.evictions++
+		}
+	}
+}
+
+// SetLimit bounds the number of memoised machines; least recently used
+// entries are evicted beyond it. A limit of zero (the default) means
+// unbounded. A long-running serve process should set a limit so an
+// unbounded parameter stream cannot grow the cache without bound.
+func (c *Cache) SetLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+	c.evictLocked()
+}
+
+// Purge drops every memoised machine and factory result, returning the
+// number of machine entries removed.
+func (c *Cache) Purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.entries)
+	c.entries = make(map[Fingerprint]*cacheEntry)
+	c.order = nil
+	c.params = make(map[int]*paramEntry)
+	return n
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Generations: c.generations,
+		Entries:     len(c.entries),
+	}
+}
+
+// Len returns the number of memoised machines.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.machines)
+	return len(c.entries)
 }
 
 // Invalidate drops the memoised machine for a parameter, forcing
@@ -84,5 +253,21 @@ func (c *Cache) Len() int {
 func (c *Cache) Invalidate(parameter int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	delete(c.machines, parameter)
+	pe, ok := c.params[parameter]
+	if !ok {
+		return
+	}
+	delete(c.params, parameter)
+	if pe.fp.IsZero() {
+		return
+	}
+	if _, ok := c.entries[pe.fp]; ok {
+		delete(c.entries, pe.fp)
+		for i, o := range c.order {
+			if o == pe.fp {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+	}
 }

@@ -120,3 +120,108 @@ func TestNewCacheValidation(t *testing.T) {
 		t.Error("nil factory accepted")
 	}
 }
+
+func TestCacheStatsAndSingleFlight(t *testing.T) {
+	f := &countingFactory{}
+	cache, err := NewCache(f.make, WithoutDescriptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Machine(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Machine(3); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Generations != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 generation, 1 entry", st)
+	}
+}
+
+// TestCacheMachineForSharesFingerprint: two distinct model values that
+// would generate identical machines share one cache entry and one
+// generation.
+func TestCacheMachineForSharesFingerprint(t *testing.T) {
+	cache := NewGenerationCache(WithoutDescriptions())
+	m1, err := cache.MachineFor(&toyModel{max: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := cache.MachineFor(&toyModel{max: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("equal-fingerprint models generated twice")
+	}
+	if st := cache.Stats(); st.Generations != 1 {
+		t.Errorf("generations = %d, want 1", st.Generations)
+	}
+	if _, err := cache.Machine(3); err == nil {
+		t.Error("factory-less cache accepted Machine call")
+	}
+}
+
+func TestCacheLimitEvictsLRU(t *testing.T) {
+	f := &countingFactory{}
+	cache, err := NewCache(f.make, WithoutDescriptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.SetLimit(2)
+	for _, p := range []int{1, 2, 3} {
+		if _, err := cache.Machine(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2 under limit", st.Entries)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	// Parameter 1 was least recently used and must regenerate; the cached
+	// parameters must not.
+	calls := f.calls.Load()
+	if _, err := cache.Machine(3); err != nil {
+		t.Fatal(err)
+	}
+	if f.calls.Load() != calls {
+		t.Error("cached parameter re-invoked the factory")
+	}
+	gens := cache.Stats().Generations
+	if _, err := cache.Machine(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().Generations; got != gens+1 {
+		t.Errorf("evicted parameter did not regenerate (generations %d -> %d)", gens, got)
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	f := &countingFactory{}
+	cache, err := NewCache(f.make)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 3} {
+		if _, err := cache.Machine(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := cache.Purge(); n != 2 {
+		t.Errorf("Purge removed %d entries, want 2", n)
+	}
+	if cache.Len() != 0 {
+		t.Errorf("Len = %d after purge", cache.Len())
+	}
+	calls := f.calls.Load()
+	if _, err := cache.Machine(2); err != nil {
+		t.Fatal(err)
+	}
+	if f.calls.Load() != calls+1 {
+		t.Error("purged parameter did not re-invoke the factory")
+	}
+}

@@ -25,6 +25,15 @@ type genConfig struct {
 // Option configures the generation pipeline.
 type Option func(*genConfig)
 
+// newGenConfig applies opts to the default configuration.
+func newGenConfig(opts []Option) genConfig {
+	cfg := genConfig{prune: true, merge: true, describe: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
 // WithoutPruning disables reachability-first exploration and falls back to
 // the paper's literal §3.4 pipeline: enumerate the full component cross
 // product, generate transitions for every state, and keep unreachable
@@ -104,10 +113,7 @@ func (st *stateStore) intern(v Vector) int {
 // steps 1–3 fused). Equivalent states are then combined (step 4).
 // WithoutPruning selects the legacy full-enumeration pipeline instead.
 func Generate(m Model, opts ...Option) (*StateMachine, error) {
-	cfg := genConfig{prune: true, merge: true, describe: true}
-	for _, opt := range opts {
-		opt(&cfg)
-	}
+	cfg := newGenConfig(opts)
 
 	components := m.Components()
 	if len(components) == 0 {

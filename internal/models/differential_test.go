@@ -14,7 +14,7 @@ import (
 // reference stays cheap, with the commit family extended to cover r=4..6
 // contiguously.
 func diffParams(e Entry) []int {
-	if e.CommitVocabulary {
+	if e.Vocabulary == VocabularyCommit {
 		return []int{4, 5, 6, 7, 13}
 	}
 	var out []int

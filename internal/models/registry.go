@@ -44,11 +44,17 @@ type Entry struct {
 	// EFSM generalises the family to a parameter-independent EFSM, or nil
 	// when the model declares no abstraction.
 	EFSM EFSMBuilder
-	// CommitVocabulary reports that generated machines react to the commit
-	// protocol's message set, so the version-service runtime can execute
-	// them.
-	CommitVocabulary bool
+	// Vocabulary names the message vocabulary the generated machines
+	// react to, e.g. VocabularyCommit for models the version-service
+	// runtime can execute. Empty for models with a vocabulary of their
+	// own that no runtime layer consumes.
+	Vocabulary string
 }
+
+// VocabularyCommit marks models whose machines react to the commit
+// protocol's message set (UPDATE, VOTE, COMMIT, FREE, NOT_FREE), which the
+// version-service members dispatch.
+const VocabularyCommit = "commit"
 
 // Model builds the entry's model, substituting DefaultParam when param <= 0.
 func (e Entry) Model(param int) (core.Model, error) {
@@ -95,6 +101,20 @@ func Names() []string {
 	return names
 }
 
+// NamesWithVocabulary returns the sorted names of entries registered with
+// the given vocabulary, so commands can present — and validate against —
+// exactly the subset a runtime layer can execute.
+func NamesWithVocabulary(vocabulary string) []string {
+	var names []string
+	for name, e := range registry {
+		if e.Vocabulary == vocabulary {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Build constructs the named model for a parameter value (<= 0 selects the
 // entry's default parameter).
 func Build(name string, param int) (core.Model, error) {
@@ -107,14 +127,14 @@ func Build(name string, param int) (core.Model, error) {
 
 func init() {
 	Register(Entry{
-		Name:             "commit",
-		Description:      "BFT commit protocol (strict Fig. 9 reading, matches Table 1)",
-		ParamName:        "replication factor",
-		DefaultParam:     4,
-		SweepParams:      []int{4, 7, 13, 25, 46},
-		Build:            func(r int) (core.Model, error) { return commit.NewModel(r) },
-		EFSM:             func(r int) (*core.EFSM, error) { return commit.GenerateEFSM(r) },
-		CommitVocabulary: true,
+		Name:         "commit",
+		Description:  "BFT commit protocol (strict Fig. 9 reading, matches Table 1)",
+		ParamName:    "replication factor",
+		DefaultParam: 4,
+		SweepParams:  []int{4, 7, 13, 25, 46},
+		Build:        func(r int) (core.Model, error) { return commit.NewModel(r) },
+		EFSM:         func(r int) (*core.EFSM, error) { return commit.GenerateEFSM(r) },
+		Vocabulary:   VocabularyCommit,
 	})
 	Register(Entry{
 		Name:         "commit-redundant",
@@ -128,7 +148,7 @@ func init() {
 		EFSM: func(r int) (*core.EFSM, error) {
 			return commit.GenerateEFSM(r, commit.WithVariant(commit.RedundantVariant()))
 		},
-		CommitVocabulary: true,
+		Vocabulary: VocabularyCommit,
 	})
 	Register(Entry{
 		Name:         "consensus",

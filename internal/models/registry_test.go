@@ -92,3 +92,40 @@ func TestRegisterRejectsDuplicates(t *testing.T) {
 	}()
 	Register(Entry{Name: "commit", Build: func(int) (core.Model, error) { return nil, nil }})
 }
+
+func TestNamesWithVocabulary(t *testing.T) {
+	got := NamesWithVocabulary(VocabularyCommit)
+	want := []string{"commit", "commit-redundant"}
+	if len(got) != len(want) {
+		t.Fatalf("NamesWithVocabulary(commit) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NamesWithVocabulary(commit) = %v, want %v", got, want)
+		}
+	}
+	if names := NamesWithVocabulary("nonsense"); len(names) != 0 {
+		t.Errorf("NamesWithVocabulary(nonsense) = %v, want empty", names)
+	}
+}
+
+// TestVariantFingerprintsDiffer guards the generation cache against
+// collisions between variant readings: commit and commit-redundant share
+// declared structure but differ in transition logic, so their fingerprints
+// must differ or the cache would serve one family for the other.
+func TestVariantFingerprintsDiffer(t *testing.T) {
+	strict, err := Build("commit", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redundant, err := Build("commit-redundant", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.FingerprintModel(strict) == core.FingerprintModel(redundant) {
+		t.Error("strict and redundant commit models share a fingerprint")
+	}
+	if core.FingerprintModel(strict) != core.FingerprintModel(strict) {
+		t.Error("fingerprint not deterministic")
+	}
+}

@@ -20,8 +20,20 @@ type DocRenderer struct {
 // NewDocRenderer returns a DocRenderer with default settings.
 func NewDocRenderer() *DocRenderer { return &DocRenderer{} }
 
+// Name implements Renderer.
+func (r *DocRenderer) Name() string { return "doc" }
+
 // Render produces the markdown document.
-func (r *DocRenderer) Render(m *core.StateMachine) string {
+func (r *DocRenderer) Render(m *core.StateMachine) (Artifact, error) {
+	return Artifact{
+		Format:    r.Name(),
+		MediaType: "text/markdown; charset=utf-8",
+		Ext:       ".md",
+		Data:      []byte(r.renderDoc(m)),
+	}, nil
+}
+
+func (r *DocRenderer) renderDoc(m *core.StateMachine) string {
 	b := NewBuffer()
 	title := r.Title
 	if title == "" {

@@ -23,8 +23,20 @@ func NewDotRenderer() *DotRenderer {
 	return &DotRenderer{IncludeActions: true}
 }
 
+// Name implements Renderer.
+func (r *DotRenderer) Name() string { return "dot" }
+
 // Render produces the DOT document.
-func (r *DotRenderer) Render(m *core.StateMachine) string {
+func (r *DotRenderer) Render(m *core.StateMachine) (Artifact, error) {
+	return Artifact{
+		Format:    r.Name(),
+		MediaType: "text/vnd.graphviz; charset=utf-8",
+		Ext:       ".dot",
+		Data:      []byte(r.renderDot(m)),
+	}, nil
+}
+
+func (r *DotRenderer) renderDot(m *core.StateMachine) string {
 	b := NewBuffer()
 	b.IndentWith = "  "
 	b.AddLn("digraph \"", escapeDot(m.ModelName), "\" {")

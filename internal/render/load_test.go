@@ -14,7 +14,7 @@ func TestLoadMachineXMLRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadMachineXML([]byte(xml))
+	loaded, err := LoadMachineXML(xml.Data)
 	if err != nil {
 		t.Fatalf("LoadMachineXML: %v", err)
 	}
@@ -45,7 +45,7 @@ func TestLoadedMachineExecutesIdentically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadMachineXML([]byte(xml))
+	loaded, err := LoadMachineXML(xml.Data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,14 +144,14 @@ func TestLoadedMachineRenders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadMachineXML([]byte(xml))
+	loaded, err := LoadMachineXML(xml.Data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out := NewTextRenderer().Render(loaded); len(out) == 0 {
-		t.Error("empty text artefact from loaded machine")
+	if out, err := NewTextRenderer().Render(loaded); err != nil || len(out.Data) == 0 {
+		t.Errorf("empty text artefact from loaded machine (err %v)", err)
 	}
-	if out := NewDotRenderer().Render(loaded); len(out) == 0 {
-		t.Error("empty DOT artefact from loaded machine")
+	if out, err := NewDotRenderer().Render(loaded); err != nil || len(out.Data) == 0 {
+		t.Errorf("empty DOT artefact from loaded machine (err %v)", err)
 	}
 }

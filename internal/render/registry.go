@@ -1,0 +1,171 @@
+package render
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"asagen/internal/core"
+)
+
+// This file defines the renderer abstraction and the format registry. The
+// paper generates "various artefacts ... including diagrams, source-level
+// protocol implementations and documentation" (§1); each artefact class is
+// a Renderer registered under a stable format name, so commands and the
+// artefact pipeline can select — or enumerate — formats without hardwiring
+// a switch per format. The registration pattern mirrors the model registry
+// in internal/models: a new format plugs into every command, the batch
+// renderer and the serve endpoint with one Register call.
+
+// Artifact is one rendered artefact: the bytes plus the metadata consumers
+// need to store or serve it.
+type Artifact struct {
+	// Format is the registry name of the format that produced it.
+	Format string
+	// MediaType is the artefact's MIME type, for HTTP responses.
+	MediaType string
+	// Ext is the suggested filename extension, including the dot.
+	Ext string
+	// Data is the rendered content.
+	Data []byte
+}
+
+// String returns the artefact content as a string.
+func (a Artifact) String() string { return string(a.Data) }
+
+// Renderer renders a generated state machine as one artefact class.
+// Implementations must be safe for concurrent use of Render; registered
+// factories return fresh instances so callers may also adjust exported
+// configuration fields before rendering.
+type Renderer interface {
+	// Name returns the registry name of the format, e.g. "dot".
+	Name() string
+	// Render produces the artefact for the machine.
+	Render(m *core.StateMachine) (Artifact, error)
+}
+
+// EFSMRenderer renders the parameter-independent EFSM generalisation
+// (§5.3) instead of a concrete machine.
+type EFSMRenderer interface {
+	// Name returns the registry name of the format, e.g. "efsm-dot".
+	Name() string
+	// RenderEFSM produces the artefact for the EFSM.
+	RenderEFSM(e *core.EFSM) (Artifact, error)
+}
+
+// ErrUnknownFormat reports a format name absent from the registry.
+var ErrUnknownFormat = errors.New("render: unknown format")
+
+// formatEntry holds the factory for one registered format; exactly one of
+// the two fields is set.
+type formatEntry struct {
+	machine func() Renderer
+	efsm    func() EFSMRenderer
+}
+
+var formats = map[string]formatEntry{}
+
+// Register adds a machine-artefact format to the registry. The factory is
+// invoked once to learn the format name, and again on every New call. It
+// panics on duplicate or empty names — a programming error at package
+// initialisation.
+func Register(factory func() Renderer) {
+	registerEntry(factory().Name(), formatEntry{machine: factory})
+}
+
+// RegisterEFSM adds an EFSM-artefact format to the registry.
+func RegisterEFSM(factory func() EFSMRenderer) {
+	registerEntry(factory().Name(), formatEntry{efsm: factory})
+}
+
+func registerEntry(name string, e formatEntry) {
+	if name == "" {
+		panic("render: register format with empty name")
+	}
+	if _, dup := formats[name]; dup {
+		panic(fmt.Sprintf("render: duplicate registration of format %q", name))
+	}
+	formats[name] = e
+}
+
+// New returns a fresh renderer for a machine-artefact format.
+func New(name string) (Renderer, error) {
+	e, ok := formats[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownFormat, name, Formats())
+	}
+	if e.machine == nil {
+		return nil, fmt.Errorf("render: format %q renders EFSMs; use NewEFSM", name)
+	}
+	return e.machine(), nil
+}
+
+// NewEFSM returns a fresh renderer for an EFSM-artefact format.
+func NewEFSM(name string) (EFSMRenderer, error) {
+	e, ok := formats[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownFormat, name, Formats())
+	}
+	if e.efsm == nil {
+		return nil, fmt.Errorf("render: format %q renders machines; use New", name)
+	}
+	return e.efsm(), nil
+}
+
+// Known reports whether the format name is registered.
+func Known(name string) bool {
+	_, ok := formats[name]
+	return ok
+}
+
+// IsEFSMFormat reports whether the registered format renders the EFSM
+// generalisation rather than a concrete machine.
+func IsEFSMFormat(name string) bool {
+	return formats[name].efsm != nil
+}
+
+// Formats returns all registered format names, sorted.
+func Formats() []string {
+	names := make([]string, 0, len(formats))
+	for name := range formats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MachineFormats returns the sorted names of formats rendering concrete
+// machines.
+func MachineFormats() []string {
+	var names []string
+	for name, e := range formats {
+		if e.machine != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EFSMFormats returns the sorted names of formats rendering the EFSM
+// generalisation.
+func EFSMFormats() []string {
+	var names []string
+	for name, e := range formats {
+		if e.efsm != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register(func() Renderer { return NewTextRenderer() })
+	Register(func() Renderer { return NewDotRenderer() })
+	Register(func() Renderer { return NewXMLRenderer() })
+	Register(func() Renderer { return NewGoSourceRenderer("") })
+	Register(func() Renderer { return NewDocRenderer() })
+	RegisterEFSM(func() EFSMRenderer { return NewEFSMTextRenderer() })
+	RegisterEFSM(func() EFSMRenderer { return NewEFSMDotRenderer() })
+}

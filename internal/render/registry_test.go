@@ -1,0 +1,99 @@
+package render
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegistryCoversAllFormats(t *testing.T) {
+	want := []string{"doc", "dot", "efsm", "efsm-dot", "go", "text", "xml"}
+	got := Formats()
+	if len(got) != len(want) {
+		t.Fatalf("Formats() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Formats() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range MachineFormats() {
+		if IsEFSMFormat(name) {
+			t.Errorf("machine format %q reports as EFSM format", name)
+		}
+		r, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if r.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, r.Name())
+		}
+	}
+	for _, name := range EFSMFormats() {
+		if !IsEFSMFormat(name) {
+			t.Errorf("EFSM format %q not reported as such", name)
+		}
+		r, err := NewEFSM(name)
+		if err != nil {
+			t.Fatalf("NewEFSM(%q): %v", name, err)
+		}
+		if r.Name() != name {
+			t.Errorf("NewEFSM(%q).Name() = %q", name, r.Name())
+		}
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	if _, err := New("nonsense"); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("New(nonsense) = %v, want ErrUnknownFormat", err)
+	}
+	if _, err := NewEFSM("nonsense"); !errors.Is(err, ErrUnknownFormat) {
+		t.Errorf("NewEFSM(nonsense) = %v, want ErrUnknownFormat", err)
+	}
+	// Kind mismatches are rejected with a pointer to the right call.
+	if _, err := New("efsm"); err == nil {
+		t.Error("New(efsm) accepted an EFSM format")
+	}
+	if _, err := NewEFSM("text"); err == nil {
+		t.Error("NewEFSM(text) accepted a machine format")
+	}
+	if Known("nonsense") || !Known("dot") {
+		t.Error("Known misreports registration")
+	}
+}
+
+// TestNewReturnsFreshInstances: callers may configure the returned
+// renderer (e.g. the go package name) without affecting other users.
+func TestNewReturnsFreshInstances(t *testing.T) {
+	a, err := New("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := a.(*GoSourceRenderer), b.(*GoSourceRenderer)
+	ga.PackageName = "mutated"
+	if gb.PackageName == "mutated" {
+		t.Error("New returned a shared instance")
+	}
+}
+
+// TestArtifactMetadata: every registered format declares a media type and
+// an extension, and stamps its name into the artefact.
+func TestArtifactMetadata(t *testing.T) {
+	machine := commitMachine(t, 4)
+	for _, name := range MachineFormats() {
+		r, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art, err := r.Render(machine)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if art.Format != name || art.MediaType == "" || art.Ext == "" || len(art.Data) == 0 {
+			t.Errorf("%s: incomplete artefact metadata %+v", name, art)
+		}
+	}
+}

@@ -25,7 +25,11 @@ func commitMachine(t *testing.T, r int) *core.StateMachine {
 
 func TestTextRendererFig14Shape(t *testing.T) {
 	machine := commitMachine(t, 4)
-	out := NewTextRenderer().Render(machine)
+	art, err := NewTextRenderer().Render(machine)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := art.String()
 
 	// Every state section appears.
 	for _, s := range machine.States {
@@ -68,7 +72,11 @@ func TestTextRendererSingleState(t *testing.T) {
 
 func TestDotRenderer(t *testing.T) {
 	machine := commitMachine(t, 4)
-	out := NewDotRenderer().Render(machine)
+	art, err := NewDotRenderer().Render(machine)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := art.String()
 	if !strings.HasPrefix(out, "digraph") {
 		t.Fatalf("not a digraph: %q", out[:20])
 	}
@@ -110,10 +118,11 @@ func TestDotRendererEFSM(t *testing.T) {
 
 func TestXMLRendererRoundTrip(t *testing.T) {
 	machine := commitMachine(t, 4)
-	out, err := NewXMLRenderer().Render(machine)
+	xmlArt, err := NewXMLRenderer().Render(machine)
 	if err != nil {
 		t.Fatalf("Render: %v", err)
 	}
+	out := xmlArt.String()
 	if !strings.HasPrefix(out, "<?xml") {
 		t.Error("missing XML header")
 	}
@@ -158,10 +167,11 @@ func TestXMLRendererRoundTrip(t *testing.T) {
 
 func TestGoSourceRendererParses(t *testing.T) {
 	machine := commitMachine(t, 4)
-	src, err := NewGoSourceRenderer("commitfsm4").Render(machine)
+	art, err := NewGoSourceRenderer("commitfsm4").Render(machine)
 	if err != nil {
 		t.Fatalf("Render: %v", err)
 	}
+	src := art.String()
 	fset := token.NewFileSet()
 	if _, err := parser.ParseFile(fset, "generated.go", src, parser.AllErrors); err != nil {
 		t.Fatalf("generated source does not parse: %v", err)
@@ -187,12 +197,22 @@ func TestGoSourceRendererParses(t *testing.T) {
 }
 
 func TestGoSourceRendererErrors(t *testing.T) {
-	machine := commitMachine(t, 4)
-	if _, err := (&GoSourceRenderer{}).Render(machine); err == nil {
-		t.Error("empty package name accepted")
-	}
 	if _, err := NewGoSourceRenderer("x").Render(&core.StateMachine{}); err == nil {
 		t.Error("empty machine accepted")
+	}
+}
+
+func TestGoSourceRendererDerivesPackageName(t *testing.T) {
+	machine := commitMachine(t, 4)
+	art, err := (&GoSourceRenderer{}).Render(machine)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if want := "package bftcommit4"; !strings.Contains(art.String(), want) {
+		t.Errorf("derived source missing %q", want)
+	}
+	if got := DefaultPackageName(machine); got != "bftcommit4" {
+		t.Errorf("DefaultPackageName = %q, want bftcommit4", got)
 	}
 }
 
@@ -227,7 +247,11 @@ func TestCamel(t *testing.T) {
 
 func TestDocRenderer(t *testing.T) {
 	machine := commitMachine(t, 4)
-	out := NewDocRenderer().Render(machine)
+	art, err := NewDocRenderer().Render(machine)
+	if err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := art.String()
 	for _, want := range []string{
 		"# State machine `bft-commit` (parameter 4)",
 		"| States (merged) | 33 |",

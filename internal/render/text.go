@@ -22,8 +22,11 @@ func NewTextRenderer() *TextRenderer {
 	return &TextRenderer{IncludeDescriptions: true}
 }
 
+// Name implements Renderer.
+func (r *TextRenderer) Name() string { return "text" }
+
 // Render produces the textual representation of the whole machine.
-func (r *TextRenderer) Render(m *core.StateMachine) string {
+func (r *TextRenderer) Render(m *core.StateMachine) (Artifact, error) {
 	b := NewBuffer()
 	b.AddLn("state machine: ", m.ModelName)
 	b.AddLn("parameter: ", itoa(m.Parameter))
@@ -33,7 +36,12 @@ func (r *TextRenderer) Render(m *core.StateMachine) string {
 	for _, s := range m.States {
 		r.renderState(b, m, s)
 	}
-	return b.String()
+	return Artifact{
+		Format:    r.Name(),
+		MediaType: "text/plain; charset=utf-8",
+		Ext:       ".txt",
+		Data:      []byte(b.String()),
+	}, nil
 }
 
 // RenderState produces the Fig. 14 style section for a single state.

@@ -89,17 +89,25 @@ func (r *XMLRenderer) Document(m *core.StateMachine) *XMLDiagram {
 	return doc
 }
 
+// Name implements Renderer.
+func (r *XMLRenderer) Name() string { return "xml" }
+
 // Render marshals the machine's diagram document.
-func (r *XMLRenderer) Render(m *core.StateMachine) (string, error) {
+func (r *XMLRenderer) Render(m *core.StateMachine) (Artifact, error) {
 	indent := r.Indent
 	if indent == "" {
 		indent = "  "
 	}
 	out, err := xml.MarshalIndent(r.Document(m), "", indent)
 	if err != nil {
-		return "", fmt.Errorf("render: marshal diagram: %w", err)
+		return Artifact{}, fmt.Errorf("render: marshal diagram: %w", err)
 	}
-	return xml.Header + string(out) + "\n", nil
+	return Artifact{
+		Format:    r.Name(),
+		MediaType: "application/xml; charset=utf-8",
+		Ext:       ".xml",
+		Data:      []byte(xml.Header + string(out) + "\n"),
+	}, nil
 }
 
 // ParseXML decodes a diagram document produced by Render, for round-trip

@@ -36,6 +36,7 @@ type Service struct {
 	f       int
 	timeout time.Duration
 	builder func(r int) (core.Model, error)
+	cache   *core.Cache
 }
 
 // ServiceOption configures a Service.
@@ -55,6 +56,15 @@ func WithModelBuilder(b func(r int) (core.Model, error)) ServiceOption {
 	return func(s *Service) { s.builder = b }
 }
 
+// WithMachineCache shares a fingerprint-keyed generation cache between
+// services (§4.2's cached generation policy): services constructed with
+// the same cache and equivalent models pay the generation cost once. The
+// cache's own factory is ignored — the service generates through its
+// model builder via the cache's fingerprint memoisation.
+func WithMachineCache(c *core.Cache) ServiceOption {
+	return func(s *Service) { s.cache = c }
+}
+
 // NewService generates the peer-set machine for the replication factor and
 // installs an honest member on every overlay node.
 func NewService(net *simnet.Network, ring *chord.Ring, replicationFactor int, opts ...ServiceOption) (*Service, error) {
@@ -69,11 +79,14 @@ func NewService(net *simnet.Network, ring *chord.Ring, replicationFactor int, op
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.cache == nil {
+		s.cache = core.NewGenerationCache(core.WithoutDescriptions())
+	}
 	model, err := s.builder(replicationFactor)
 	if err != nil {
 		return nil, err
 	}
-	machine, err := core.Generate(model, core.WithoutDescriptions())
+	machine, err := s.cache.MachineFor(model)
 	if err != nil {
 		return nil, fmt.Errorf("version: generate machine: %w", err)
 	}
@@ -121,6 +134,10 @@ func faultTolerance(model core.Model) int {
 
 // Machine returns the generated machine members execute.
 func (s *Service) Machine() *core.StateMachine { return s.machine }
+
+// MachineCache returns the generation cache the service builds machines
+// through, e.g. to inspect its hit/generation statistics.
+func (s *Service) MachineCache() *core.Cache { return s.cache }
 
 // ReplicationFactor returns r.
 func (s *Service) ReplicationFactor() int { return s.r }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"asagen/internal/chord"
+	"asagen/internal/core"
 	"asagen/internal/simnet"
 	"asagen/internal/storage"
 )
@@ -388,4 +389,34 @@ func distinctIDs(ids []simnet.NodeID) []simnet.NodeID {
 		}
 	}
 	return out
+}
+
+// TestServicesShareMachineCache: two services constructed over one shared
+// generation cache with equivalent models pay the generation cost once —
+// the §4.2 cached-generation policy across service instances.
+func TestServicesShareMachineCache(t *testing.T) {
+	cache := core.NewGenerationCache(core.WithoutDescriptions())
+	a := newStack(t, 1, 8, 4, WithMachineCache(cache))
+	b := newStack(t, 2, 12, 4, WithMachineCache(cache))
+	if a.service.Machine() != b.service.Machine() {
+		t.Error("equivalent services did not share the generated machine")
+	}
+	st := cache.Stats()
+	if st.Generations != 1 {
+		t.Errorf("generations = %d, want 1 across two services", st.Generations)
+	}
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+	if a.service.MachineCache() != cache {
+		t.Error("MachineCache does not return the shared cache")
+	}
+	// A different replication factor is a different fingerprint.
+	c := newStack(t, 3, 8, 7, WithMachineCache(cache))
+	if c.service.Machine() == a.service.Machine() {
+		t.Error("different parameters shared one machine")
+	}
+	if got := cache.Stats().Generations; got != 2 {
+		t.Errorf("generations = %d after r=7 service, want 2", got)
+	}
 }
