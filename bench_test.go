@@ -15,6 +15,7 @@ package asagen_test
 //	E9  BenchmarkChordLookup          routing hops vs overlay size
 //	E11 BenchmarkPipelineStages       pruning/merging ablation
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -51,7 +52,7 @@ func BenchmarkGenerateTable1(b *testing.B) {
 			var machine *core.StateMachine
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				machine, err = core.Generate(model, core.WithoutDescriptions())
+				machine, err = core.Generate(context.Background(), model, core.WithoutDescriptions())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -91,7 +92,7 @@ func BenchmarkGenerateFrontier(b *testing.B) {
 				var machine *core.StateMachine
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					machine, err = core.Generate(model, opts...)
+					machine, err = core.Generate(context.Background(), model, opts...)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -125,7 +126,7 @@ func BenchmarkPipelineStages(b *testing.B) {
 			opts := append([]core.Option{core.WithoutDescriptions()}, cfg.opts...)
 			var machine *core.StateMachine
 			for i := 0; i < b.N; i++ {
-				machine, err = core.Generate(model, opts...)
+				machine, err = core.Generate(context.Background(), model, opts...)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -141,7 +142,7 @@ func buildCommitMachine(b *testing.B, r int) *core.StateMachine {
 	if err != nil {
 		b.Fatal(err)
 	}
-	machine, err := core.Generate(model)
+	machine, err := core.Generate(context.Background(), model)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -208,21 +209,21 @@ func BenchmarkRenderGoSource(b *testing.B) {
 func BenchmarkGenerateEFSM(b *testing.B) {
 	b.Run("commit/r=13", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := commit.GenerateEFSM(13); err != nil {
+			if _, err := commit.GenerateEFSM(context.Background(), 13); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("consensus/n=9", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := consensus.GenerateEFSM(9); err != nil {
+			if _, err := consensus.GenerateEFSM(context.Background(), 9); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("termination/k=8", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := termination.GenerateEFSM(8); err != nil {
+			if _, err := termination.GenerateEFSM(context.Background(), 8); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -293,7 +294,7 @@ func BenchmarkDeliveryGeneric(b *testing.B) {
 // BenchmarkDeliveryEFSM measures one commit round on the nine-state EFSM
 // (E6: the intermediate point on the §3.2 spectrum).
 func BenchmarkDeliveryEFSM(b *testing.B) {
-	efsm, err := commit.GenerateEFSM(4)
+	efsm, err := commit.GenerateEFSM(context.Background(), 4)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -324,7 +325,7 @@ func BenchmarkCommitRound(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			svc, err := version.NewService(net, ring, r)
+			svc, err := version.NewService(context.Background(), net, ring, r)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -418,7 +419,7 @@ func BenchmarkContendedCommit(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			svc, err := version.NewService(net, ring, 4)
+			svc, err := version.NewService(context.Background(), net, ring, 4)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -462,7 +463,7 @@ func BenchmarkGenerationPolicy(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := core.Generate(model, core.WithoutDescriptions()); err != nil {
+			if _, err := core.Generate(context.Background(), model, core.WithoutDescriptions()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -474,7 +475,7 @@ func BenchmarkGenerationPolicy(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := cache.Machine(7); err != nil {
+			if _, err := cache.Machine(context.Background(), 7); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -490,7 +491,7 @@ func BenchmarkRenderAll(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			p := artifact.New()
-			for _, res := range p.RenderAll(reqs) {
+			for _, res := range p.RenderAll(context.Background(), reqs) {
 				if res.Err != nil {
 					b.Fatal(res.Err)
 				}
@@ -499,14 +500,14 @@ func BenchmarkRenderAll(b *testing.B) {
 	})
 	b.Run("warm", func(b *testing.B) {
 		p := artifact.New()
-		for _, res := range p.RenderAll(reqs) {
+		for _, res := range p.RenderAll(context.Background(), reqs) {
 			if res.Err != nil {
 				b.Fatal(res.Err)
 			}
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			for _, res := range p.RenderAll(reqs) {
+			for _, res := range p.RenderAll(context.Background(), reqs) {
 				if res.Err != nil {
 					b.Fatal(res.Err)
 				}
@@ -527,20 +528,20 @@ func BenchmarkCacheHitMiss(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cache := core.NewGenerationCache(core.WithoutDescriptions())
-			if _, err := cache.MachineFor(model); err != nil {
+			if _, err := cache.MachineFor(context.Background(), model); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("hit", func(b *testing.B) {
 		cache := core.NewGenerationCache(core.WithoutDescriptions())
-		if _, err := cache.MachineFor(model); err != nil {
+		if _, err := cache.MachineFor(context.Background(), model); err != nil {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := cache.MachineFor(model); err != nil {
+			if _, err := cache.MachineFor(context.Background(), model); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,361 @@
+package asagen
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"iter"
+	"sync"
+
+	"asagen/internal/artifact"
+	"asagen/internal/core"
+	"asagen/internal/models"
+	"asagen/internal/render"
+)
+
+// VocabularyCommit marks models whose generated machines react to the
+// commit protocol's message set; only these can drive the version-service
+// runtime (see ModelInfo.Vocabulary).
+const VocabularyCommit = models.VocabularyCommit
+
+// ModelInfo describes one registered scenario.
+type ModelInfo struct {
+	// Name is the registry key, e.g. "commit".
+	Name string
+	// Description is a one-line summary of the scenario.
+	Description string
+	// ParamName names the model parameter, e.g. "replication factor".
+	ParamName string
+	// DefaultParam is the parameter used when a request passes none.
+	DefaultParam int
+	// SweepParams are representative parameter values, ascending.
+	SweepParams []int
+	// HasEFSM reports whether the model declares the parameter-independent
+	// EFSM generalisation (required by the efsm formats).
+	HasEFSM bool
+	// Vocabulary names the message vocabulary the generated machines react
+	// to; empty when no runtime layer consumes it.
+	Vocabulary string
+}
+
+// Request names one artefact: a registered model, a parameter value (<= 0
+// selects the model's default) and a registered format.
+type Request struct {
+	Model  string
+	Param  int
+	Format string
+}
+
+// Result is one rendered artefact, or the classified failure to produce
+// it.
+type Result struct {
+	// Model, Param and Format echo the request, with Param resolved to the
+	// effective parameter value.
+	Model  string
+	Param  int
+	Format string
+	// MediaType is the artefact's MIME type; Ext the suggested filename
+	// extension including the dot.
+	MediaType string
+	Ext       string
+	// Data is the rendered content.
+	Data []byte
+	// Fingerprint is the hex fingerprint of the generated machine family
+	// member; empty for EFSM formats, which bypass machine generation.
+	Fingerprint string
+	// ContentHash is the hex SHA-256 of Data, for content addressing;
+	// empty when Err is set.
+	ContentHash string
+	// Err classifies the failure under the package's sentinel errors; nil
+	// on success.
+	Err error
+}
+
+// FileName returns a content-addressed filename:
+// <model>-r<param>.<format>.<hash12><ext>. Equal content always maps to
+// the same name, so re-running a batch never duplicates artefacts.
+func (r Result) FileName() string {
+	hash := r.ContentHash
+	if len(hash) > 12 {
+		hash = hash[:12]
+	}
+	return fmt.Sprintf("%s-r%d.%s.%s%s", r.Model, r.Param, r.Format, hash, r.Ext)
+}
+
+// Stats is a snapshot of a client's memoisation counters.
+type Stats struct {
+	// Generations counts machine generations that ran to completion;
+	// CancelledGenerations counts generations aborted by context
+	// cancellation. Concurrent first requests for one machine share a
+	// single generation.
+	Generations          int64
+	CancelledGenerations int64
+	// CacheHits/CacheMisses/CacheEvictions report the machine cache;
+	// CachedMachines is its current size.
+	CacheHits, CacheMisses, CacheEvictions int64
+	CachedMachines                         int
+	// RenderHits and RenderMisses count rendered-artefact memo lookups.
+	RenderHits, RenderMisses int64
+}
+
+// Client is the public facade over the generation core, the scenario and
+// format registries, and the artefact pipeline. It memoises generated
+// machines per model fingerprint and rendered artefacts per
+// (fingerprint, format), both single-flight under concurrency. The zero
+// cost path — repeated requests for cached work — is lock-cheap and
+// allocation-free beyond the returned values. A Client is safe for
+// concurrent use.
+type Client struct {
+	pipeline   *artifact.Pipeline
+	genOpts    []core.Option
+	cacheLimit int
+
+	// mu guards caches, the per-behaviour-option-set generation caches
+	// used by Generate calls that override the client's options.
+	mu     sync.Mutex
+	caches map[string]*core.Cache
+}
+
+// NewClient returns a client with the given options.
+func NewClient(opts ...ClientOption) *Client {
+	var cfg clientConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	_, _, _, coreOpts, _ := splitGenerateOptions(cfg.genOpts)
+	p := artifact.New(
+		artifact.WithJobs(cfg.jobs),
+		artifact.WithGenerateOptions(coreOpts...),
+	)
+	if cfg.cacheLimit > 0 {
+		p.Cache().SetLimit(cfg.cacheLimit)
+	}
+	return &Client{
+		pipeline:   p,
+		genOpts:    coreOpts,
+		cacheLimit: cfg.cacheLimit,
+		caches:     make(map[string]*core.Cache),
+	}
+}
+
+// Models returns the registered scenarios, sorted by name.
+func (c *Client) Models() []ModelInfo {
+	names := models.Names()
+	out := make([]ModelInfo, 0, len(names))
+	for _, name := range names {
+		info, err := c.Model(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Model returns the description of one registered scenario, or
+// ErrUnknownModel.
+func (c *Client) Model(name string) (ModelInfo, error) {
+	e, err := models.Get(name)
+	if err != nil {
+		return ModelInfo{}, wrapSentinel(ErrUnknownModel, err)
+	}
+	return ModelInfo{
+		Name:         e.Name,
+		Description:  e.Description,
+		ParamName:    e.ParamName,
+		DefaultParam: e.DefaultParam,
+		SweepParams:  append([]int(nil), e.SweepParams...),
+		HasEFSM:      e.EFSM != nil,
+		Vocabulary:   e.Vocabulary,
+	}, nil
+}
+
+// Formats returns the registered artefact format names, sorted.
+func (c *Client) Formats() []string { return render.Formats() }
+
+// IsEFSMFormat reports whether the registered format renders the
+// parameter-independent EFSM generalisation rather than a concrete
+// machine. EFSM artefacts are produced through Render; Machine.Render
+// handles only concrete-machine formats.
+func (c *Client) IsEFSMFormat(name string) bool { return render.IsEFSMFormat(name) }
+
+// Generate executes the named model and returns the generated machine
+// family member. The machine is memoised per model fingerprint (unless
+// WithoutCache is passed), so repeated and concurrent calls for equivalent
+// models pay the generation cost once. Cancelling ctx aborts the
+// generation promptly with ctx.Err() and leaves no cache entry.
+func (c *Client) Generate(ctx context.Context, model string, opts ...GenerateOption) (*Machine, error) {
+	entry, err := models.Get(model)
+	if err != nil {
+		return nil, wrapSentinel(ErrUnknownModel, err)
+	}
+	param, setParam, fresh, callOpts, key := splitGenerateOptions(opts)
+	if !setParam || param <= 0 {
+		param = entry.DefaultParam
+	}
+	m, err := entry.Build(param)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+
+	effOpts := callOpts
+	if len(c.genOpts) > 0 {
+		effOpts = append(append([]core.Option(nil), c.genOpts...), callOpts...)
+	}
+	var (
+		machine *core.StateMachine
+		fp      core.Fingerprint
+	)
+	switch {
+	case fresh:
+		fp = core.FingerprintModel(m, effOpts...)
+		machine, err = core.Generate(ctx, m, effOpts...)
+	case key == "":
+		cache := c.pipeline.Cache()
+		fp = cache.Fingerprint(m)
+		machine, err = cache.MachineForFingerprint(ctx, fp, m)
+	default:
+		cache := c.cacheFor(key, effOpts)
+		fp = cache.Fingerprint(m)
+		machine, err = cache.MachineForFingerprint(ctx, fp, m)
+	}
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &Machine{name: entry.Name, param: param, machine: machine, model: m, fp: fp}, nil
+}
+
+// cacheFor returns the memoisation cache for a per-call behaviour-option
+// set, creating it on first use. Worker-count options get distinct caches
+// but identical fingerprints, so they still share nothing beyond identity.
+func (c *Client) cacheFor(key string, opts []core.Option) *core.Cache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cache, ok := c.caches[key]
+	if !ok {
+		cache = core.NewGenerationCache(opts...)
+		if c.cacheLimit > 0 {
+			cache.SetLimit(c.cacheLimit)
+		}
+		c.caches[key] = cache
+	}
+	return cache
+}
+
+// Render produces the artefact for one request. Generation and rendering
+// are memoised and single-flight. The returned error equals Result.Err.
+func (c *Client) Render(ctx context.Context, req Request) (Result, error) {
+	res := publicResult(c.pipeline.Render(ctx, artifact.Request{
+		Model:  req.Model,
+		Param:  req.Param,
+		Format: req.Format,
+	}))
+	return res, res.Err
+}
+
+// RenderAll renders every request concurrently under the client's worker
+// bound and yields (index, result) pairs in request order. Per-request
+// failures are delivered in Result.Err; cancelling ctx makes the remaining
+// results carry ctx.Err().
+func (c *Client) RenderAll(ctx context.Context, reqs []Request) iter.Seq2[int, Result] {
+	return func(yield func(int, Result) bool) {
+		for i, res := range c.pipeline.RenderAll(ctx, toInternalRequests(reqs)) {
+			if !yield(i, publicResult(res)) {
+				return
+			}
+		}
+	}
+}
+
+// Stream renders every request concurrently and yields results as they
+// complete, in arbitrary order. Breaking out of the loop early never
+// leaks the workers; renders already in flight run to completion.
+func (c *Client) Stream(ctx context.Context, reqs []Request) iter.Seq[Result] {
+	return func(yield func(Result) bool) {
+		for res := range c.pipeline.Stream(ctx, toInternalRequests(reqs)) {
+			if !yield(publicResult(res)) {
+				return
+			}
+		}
+	}
+}
+
+// AllRequests is the full registry cross product: every registered model
+// (at its default parameter) in every registered format, skipping EFSM
+// formats for models without an EFSM generalisation. Ordered by model
+// name, then format name.
+func (c *Client) AllRequests() []Request {
+	internal := artifact.AllRequests()
+	reqs := make([]Request, len(internal))
+	for i, r := range internal {
+		reqs[i] = Request{Model: r.Model, Param: r.Param, Format: r.Format}
+	}
+	return reqs
+}
+
+// Stats returns a snapshot of the client's memoisation counters.
+func (c *Client) Stats() Stats {
+	st := c.pipeline.Stats()
+	out := Stats{
+		Generations:          st.Machine.Generations,
+		CancelledGenerations: st.Machine.Cancellations,
+		CacheHits:            st.Machine.Hits,
+		CacheMisses:          st.Machine.Misses,
+		CacheEvictions:       st.Machine.Evictions,
+		CachedMachines:       st.Machine.Entries,
+		RenderHits:           st.RenderHits,
+		RenderMisses:         st.RenderMisses,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cache := range c.caches {
+		cs := cache.Stats()
+		out.Generations += cs.Generations
+		out.CancelledGenerations += cs.Cancellations
+		out.CacheHits += cs.Hits
+		out.CacheMisses += cs.Misses
+		out.CacheEvictions += cs.Evictions
+		out.CachedMachines += cs.Entries
+	}
+	return out
+}
+
+// Purge drops every memoised machine, EFSM and rendered artefact.
+func (c *Client) Purge() {
+	c.pipeline.Purge()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cache := range c.caches {
+		cache.Purge()
+	}
+}
+
+func toInternalRequests(reqs []Request) []artifact.Request {
+	out := make([]artifact.Request, len(reqs))
+	for i, r := range reqs {
+		out[i] = artifact.Request{Model: r.Model, Param: r.Param, Format: r.Format}
+	}
+	return out
+}
+
+// publicResult converts a pipeline result to the public shape, classifying
+// its error under the package sentinels.
+func publicResult(res artifact.Result) Result {
+	out := Result{
+		Model:  res.Request.Model,
+		Param:  res.Request.Param,
+		Format: res.Request.Format,
+		Err:    mapErr(res.Err),
+	}
+	if res.Err != nil {
+		return out
+	}
+	out.MediaType = res.Artifact.MediaType
+	out.Ext = res.Artifact.Ext
+	out.Data = res.Artifact.Data
+	out.ContentHash = hex.EncodeToString(res.Sum[:])
+	if !res.Fingerprint.IsZero() {
+		out.Fingerprint = res.Fingerprint.String()
+	}
+	return out
+}

@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"asagen"
 	"asagen/internal/chord"
 	"asagen/internal/core"
 	"asagen/internal/models"
@@ -23,6 +25,18 @@ import (
 	"asagen/internal/storage"
 	"asagen/internal/version"
 )
+
+// commitModelNames lists the registry subset the version service can
+// execute, from the SDK client's model metadata.
+func commitModelNames(client *asagen.Client) []string {
+	var names []string
+	for _, m := range client.Models() {
+		if m.Vocabulary == asagen.VocabularyCommit {
+			names = append(names, m.Name)
+		}
+	}
+	return names
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -32,11 +46,13 @@ func main() {
 }
 
 func run(args []string) error {
+	sdk := asagen.NewClient()
+	commitNames := strings.Join(commitModelNames(sdk), ", ")
 	fs := flag.NewFlagSet("asasim", flag.ContinueOnError)
 	var (
 		nodes     = fs.Int("nodes", 32, "overlay size")
 		r         = fs.Int("r", 4, "replication factor")
-		modelName = fs.String("model", "commit", "peer-set machine model: "+strings.Join(models.NamesWithVocabulary(models.VocabularyCommit), ", "))
+		modelName = fs.String("model", "commit", "peer-set machine model: "+commitNames)
 		updates   = fs.Int("updates", 5, "file versions to commit")
 		byzantine = fs.Int("byzantine", 0, "peer-set members to make Byzantine (silent)")
 		seed      = fs.Int64("seed", 1, "simulation seed")
@@ -46,13 +62,21 @@ func run(args []string) error {
 		return err
 	}
 
+	// Validate the scenario through the SDK, so unknown names and
+	// non-commit vocabularies both fail fast naming exactly the subset the
+	// version service can execute.
+	info, err := sdk.Model(*modelName)
+	if err != nil {
+		return fmt.Errorf("unknown model %q; the version service can execute: %s",
+			*modelName, commitNames)
+	}
+	if info.Vocabulary != asagen.VocabularyCommit {
+		return fmt.Errorf("model %q does not speak the commit vocabulary; the version service can execute: %s",
+			info.Name, commitNames)
+	}
 	entry, err := models.Get(*modelName)
 	if err != nil {
 		return err
-	}
-	if entry.Vocabulary != models.VocabularyCommit {
-		return fmt.Errorf("model %q does not speak the commit vocabulary; the version service can execute: %s",
-			entry.Name, strings.Join(models.NamesWithVocabulary(models.VocabularyCommit), ", "))
 	}
 
 	net := simnet.New(*seed)
@@ -60,7 +84,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("overlay: %d nodes, replication factor %d, model %s\n", ring.Size(), *r, entry.Name)
+	fmt.Printf("overlay: %d nodes, replication factor %d, model %s\n", ring.Size(), *r, info.Name)
 
 	// Storage layer: every overlay node also stores blocks, under a
 	// distinct network identity so the two services stay separable.
@@ -74,7 +98,7 @@ func run(args []string) error {
 		}
 	}
 
-	svc, err := version.NewService(net, ring, *r,
+	svc, err := version.NewService(context.Background(), net, ring, *r,
 		version.WithModelBuilder(func(r int) (core.Model, error) { return entry.Build(r) }))
 	if err != nil {
 		return err

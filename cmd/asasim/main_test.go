@@ -38,6 +38,15 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-model", "nonsense"}); err == nil {
 		t.Error("unknown model accepted")
+	} else {
+		// The unknown-model error names exactly the commit-vocabulary
+		// subset the version service can execute, like the vocabulary
+		// error below.
+		for _, want := range []string{"commit", "commit-redundant"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("unknown-model error %q missing %q", err, want)
+			}
+		}
 	}
 	if err := run([]string{"-model", "consensus"}); err == nil {
 		t.Error("non-commit-vocabulary model accepted by the version service")

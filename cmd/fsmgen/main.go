@@ -9,15 +9,18 @@
 //	efsm      textual EFSM catalogue (§5.3)
 //	efsm-dot  Graphviz EFSM diagram
 //
-// The -model flag selects the scenario from the model registry (commit,
-// commit-redundant, consensus, termination); -r is the model parameter
-// (replication factor, process count, or fan-out bound).
+// The command is a thin shell over the public asagen SDK: model and
+// format names resolve through the client's registries, and all
+// generation and rendering is memoised by the client. The -model flag
+// selects the scenario (commit, commit-redundant, consensus,
+// termination); -r is the model parameter (replication factor, process
+// count, or fan-out bound).
 //
 // With -all the command renders the full registry cross product — every
-// registered model in every registered format — concurrently through the
-// artefact pipeline into an output directory, under content-addressed
-// filenames. As the first argument, "serve" starts an HTTP generation
-// service backed by the same pipeline.
+// registered model in every registered format — concurrently into an
+// output directory, under content-addressed filenames. As the first
+// argument, "serve" starts the versioned HTTP generation service (see
+// API.md).
 //
 // Examples:
 //
@@ -30,18 +33,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 
-	"asagen/internal/artifact"
-	"asagen/internal/commit"
-	"asagen/internal/core"
-	"asagen/internal/models"
-	"asagen/internal/render"
+	"asagen"
 )
 
 func main() {
@@ -56,11 +57,19 @@ func run(args []string, stdout io.Writer) error {
 		return runServe(args[1:], stdout)
 	}
 
+	// Registry listings for flag help come from a plain client; the
+	// working client below is configured from the parsed flags.
+	helper := asagen.NewClient()
+	modelNames := make([]string, 0, len(helper.Models()))
+	for _, m := range helper.Models() {
+		modelNames = append(modelNames, m.Name)
+	}
+
 	fs := flag.NewFlagSet("fsmgen", flag.ContinueOnError)
 	var (
-		modelName = fs.String("model", "commit", "registered model: "+strings.Join(models.Names(), ", "))
+		modelName = fs.String("model", "commit", "registered model: "+strings.Join(modelNames, ", "))
 		r         = fs.Int("r", 0, "model parameter (0 = model default)")
-		format    = fs.String("format", "text", "artefact format: "+strings.Join(render.Formats(), ", "))
+		format    = fs.String("format", "text", "artefact format: "+strings.Join(helper.Formats(), ", "))
 		pkg       = fs.String("pkg", "", "package name for -format go (default: derived from the machine)")
 		out       = fs.String("o", "", "output file, or directory for -all (stdout / \"artifacts\" when empty)")
 		variant   = fs.String("variant", "strict", "commit Fig. 9 reading: strict or redundant")
@@ -76,22 +85,27 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	var genOpts []core.Option
+	var genOpts []asagen.GenerateOption
 	if *noMerge {
-		genOpts = append(genOpts, core.WithoutMerging())
+		genOpts = append(genOpts, asagen.WithoutMerging())
 	}
 	if *noPrune {
-		genOpts = append(genOpts, core.WithoutPruning())
+		genOpts = append(genOpts, asagen.WithoutPruning())
 	}
 	if *noComment {
-		genOpts = append(genOpts, core.WithoutDescriptions())
+		genOpts = append(genOpts, asagen.WithoutDescriptions())
 	}
 	if *workers > 1 {
-		genOpts = append(genOpts, core.WithWorkers(*workers))
+		genOpts = append(genOpts, asagen.WithWorkers(*workers))
 	}
+	client := asagen.NewClient(
+		asagen.WithJobs(*jobs),
+		asagen.WithGenerateOptions(genOpts...),
+	)
+	ctx := context.Background()
 
 	if *all {
-		return runAll(*out, *jobs, genOpts, stdout)
+		return runAll(ctx, client, *out, stdout)
 	}
 
 	// -variant is the historical way to select the redundant commit
@@ -108,104 +122,85 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown variant %q", *variant)
 	}
 
-	entry, err := models.Get(*modelName)
-	if err != nil {
-		return err
-	}
-	param := *r
-	if param <= 0 {
-		param = entry.DefaultParam
-	}
-	if !render.Known(*format) {
-		return fmt.Errorf("unknown format %q (known: %v)", *format, render.Formats())
+	if !slices.Contains(client.Formats(), *format) {
+		return fmt.Errorf("unknown format %q (known: %v)", *format, client.Formats())
 	}
 
-	var art render.Artifact
-	if render.IsEFSMFormat(*format) {
-		if entry.EFSM == nil {
-			return fmt.Errorf("model %q declares no EFSM abstraction", entry.Name)
-		}
-		efsm, err := entry.EFSM(param)
+	var res asagen.Result
+	if *pkg != "" || *stats {
+		// Paths that need the machine itself: a custom Go package clause,
+		// or the generation statistics line.
+		info, err := client.Model(*modelName)
 		if err != nil {
 			return err
 		}
-		renderer, err := render.NewEFSM(*format)
-		if err != nil {
-			return err
-		}
-		if art, err = renderer.RenderEFSM(efsm); err != nil {
-			return err
-		}
-	} else {
-		model, err := entry.Build(param)
-		if err != nil {
-			return err
-		}
-		machine, err := core.Generate(model, genOpts...)
+		machine, err := client.Generate(ctx, *modelName, asagen.WithParam(*r))
 		if err != nil {
 			return err
 		}
 		if *stats {
-			line := fmt.Sprintf("model=%s %s=%d", machine.ModelName, entry.ParamName, model.Parameter())
-			if cm, ok := model.(*commit.Model); ok {
-				line += fmt.Sprintf(" f=%d", cm.FaultTolerance())
+			line := fmt.Sprintf("model=%s %s=%d", machine.ModelName(), info.ParamName, machine.Parameter())
+			if f, ok := machine.FaultTolerance(); ok {
+				line += fmt.Sprintf(" f=%d", f)
 			}
+			st := machine.Stats()
 			fmt.Fprintf(os.Stderr, "%s initial=%d reachable=%d final=%d transitions=%d fingerprint=%s\n",
-				line, machine.Stats.InitialStates, machine.Stats.ReachableStates,
-				machine.Stats.FinalStates, machine.TransitionCount(),
-				core.FingerprintModel(model, genOpts...).Short())
+				line, st.InitialStates, st.ReachableStates, st.FinalStates, st.Transitions,
+				machine.Fingerprint()[:12])
 		}
-		renderer, err := render.New(*format)
+		if client.IsEFSMFormat(*format) {
+			// -stats was requested alongside an EFSM format: the machine
+			// statistics are printed above, the artefact renders below.
+			res, err = client.Render(ctx, asagen.Request{Model: *modelName, Param: *r, Format: *format})
+		} else {
+			res, err = machine.Render(*format, asagen.WithGoPackage(*pkg))
+		}
 		if err != nil {
 			return err
 		}
-		if g, ok := renderer.(*render.GoSourceRenderer); ok {
-			g.PackageName = *pkg
-		}
-		if art, err = renderer.Render(machine); err != nil {
+	} else {
+		var err error
+		res, err = client.Render(ctx, asagen.Request{Model: *modelName, Param: *r, Format: *format})
+		if err != nil {
 			return err
 		}
 	}
 
 	if *out == "" {
-		_, err := stdout.Write(art.Data)
+		_, err := stdout.Write(res.Data)
 		return err
 	}
-	return os.WriteFile(*out, art.Data, 0o644)
+	return os.WriteFile(*out, res.Data, 0o644)
 }
 
-// runAll renders the full registry cross product through the artefact
-// pipeline into outDir, one content-addressed file per artefact, and
-// prints a manifest line per file plus a cache summary.
-func runAll(outDir string, jobs int, genOpts []core.Option, stdout io.Writer) error {
+// runAll renders the full registry cross product through the client into
+// outDir, one content-addressed file per artefact, and prints a manifest
+// line per file plus a cache summary.
+func runAll(ctx context.Context, client *asagen.Client, outDir string, stdout io.Writer) error {
 	if outDir == "" {
 		outDir = "artifacts"
 	}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	p := artifact.New(
-		artifact.WithJobs(jobs),
-		artifact.WithGenerateOptions(genOpts...),
-	)
-	reqs := artifact.AllRequests()
+	reqs := client.AllRequests()
 	failures := 0
-	for _, res := range p.RenderAll(reqs) {
+	for _, res := range client.RenderAll(ctx, reqs) {
 		if res.Err != nil {
 			failures++
 			fmt.Fprintf(os.Stderr, "fsmgen: %s/%s r=%d: %v\n",
-				res.Request.Model, res.Request.Format, res.Request.Param, res.Err)
+				res.Model, res.Format, res.Param, res.Err)
 			continue
 		}
 		path := filepath.Join(outDir, res.FileName())
-		if err := os.WriteFile(path, res.Artifact.Data, 0o644); err != nil {
+		if err := os.WriteFile(path, res.Data, 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "wrote %s (%d bytes)\n", path, len(res.Artifact.Data))
+		fmt.Fprintf(stdout, "wrote %s (%d bytes)\n", path, len(res.Data))
 	}
-	st := p.Stats()
+	st := client.Stats()
 	fmt.Fprintf(stdout, "%d artifacts, %d generations, %d render hits, %d render misses\n",
-		len(reqs)-failures, st.Machine.Generations, st.RenderHits, st.RenderMisses)
+		len(reqs)-failures, st.Generations, st.RenderHits, st.RenderMisses)
 	if failures > 0 {
 		return fmt.Errorf("%d artifacts failed to render", failures)
 	}

@@ -45,6 +45,31 @@ func TestRunFormats(t *testing.T) {
 	}
 }
 
+// TestUnknownNameErrorsListRegistries: the unknown-format and
+// unknown-model failures name the registered sets, matching asasim's
+// fail-fast style.
+func TestUnknownNameErrorsListRegistries(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-format", "nonsense"}, &sb)
+	if err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	for _, want := range []string{"text", "dot", "xml", "go", "doc", "efsm", "efsm-dot"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-format error %q missing %q", err, want)
+		}
+	}
+	err = run([]string{"-model", "nonsense"}, &sb)
+	if err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	for _, want := range []string{"commit", "commit-redundant", "consensus", "termination"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-model error %q missing %q", err, want)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	tests := [][]string{
 		{"-r", "3"},                                      // replication too small

@@ -1,31 +1,24 @@
 package main
 
 import (
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
-	"strings"
 	"time"
 
+	"asagen/internal/api"
 	"asagen/internal/artifact"
 	"asagen/internal/models"
 	"asagen/internal/render"
 )
 
-// Serve mode: an HTTP generation service backed by the artefact pipeline
-// (the paper's §4.2 "generation whenever a new parameter value is
-// encountered" policy, behind a network endpoint). Artefacts are
-// immutable per fingerprint, so responses carry a content-hash ETag and
-// conditional requests are answered 304 without rendering.
-//
-//	GET /machine/{model}?format=dot&r=7   one artefact
-//	GET /models                           registered models + metadata
-//	GET /formats                          registered formats
-//	GET /stats                            pipeline cache statistics
+// Serve mode: the versioned HTTP generation service (the paper's §4.2
+// "generation whenever a new parameter value is encountered" policy,
+// behind a network endpoint). The wire surface — /v1 routes, error
+// envelope, caching headers, request-scoped cancellation, and the
+// deprecated legacy shims — lives in internal/api and is documented in
+// the generated API.md.
 
 // runServe parses serve-mode flags and blocks serving HTTP.
 func runServe(args []string, stdout io.Writer) error {
@@ -44,132 +37,11 @@ func runServe(args []string, stdout io.Writer) error {
 		*addr, len(models.Names()), len(render.Formats()))
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServeHandler(p),
+		Handler:           api.NewHandler(p),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
 	return srv.ListenAndServe()
-}
-
-// newServeHandler routes the serve-mode endpoints onto the pipeline.
-func newServeHandler(p *artifact.Pipeline) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /machine/{model}", func(w http.ResponseWriter, r *http.Request) {
-		handleMachine(p, w, r)
-	})
-	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
-		type modelInfo struct {
-			Name         string `json:"name"`
-			Description  string `json:"description"`
-			ParamName    string `json:"param_name"`
-			DefaultParam int    `json:"default_param"`
-			HasEFSM      bool   `json:"has_efsm"`
-			Vocabulary   string `json:"vocabulary,omitempty"`
-		}
-		var out []modelInfo
-		for _, name := range models.Names() {
-			e, err := models.Get(name)
-			if err != nil {
-				continue
-			}
-			out = append(out, modelInfo{
-				Name:         e.Name,
-				Description:  e.Description,
-				ParamName:    e.ParamName,
-				DefaultParam: e.DefaultParam,
-				HasEFSM:      e.EFSM != nil,
-				Vocabulary:   e.Vocabulary,
-			})
-		}
-		writeJSON(w, out)
-	})
-	mux.HandleFunc("GET /formats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, render.Formats())
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, p.Stats())
-	})
-	return mux
-}
-
-// handleMachine renders one artefact. The ETag is the artefact content
-// hash — stable per fingerprint — so caches revalidate with If-None-Match
-// and matching requests cost neither generation nor rendering beyond the
-// memo lookup.
-func handleMachine(p *artifact.Pipeline, w http.ResponseWriter, r *http.Request) {
-	req := artifact.Request{
-		Model:  r.PathValue("model"),
-		Format: "text",
-	}
-	if f := r.URL.Query().Get("format"); f != "" {
-		req.Format = f
-	}
-	if rs := r.URL.Query().Get("r"); rs != "" {
-		param, err := strconv.Atoi(rs)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("bad parameter %q: %v", rs, err), http.StatusBadRequest)
-			return
-		}
-		req.Param = param
-	}
-
-	res := p.Render(req)
-	if res.Err != nil {
-		switch {
-		case errors.Is(res.Err, artifact.ErrUnknownModel):
-			http.Error(w, res.Err.Error(), http.StatusNotFound)
-		case errors.Is(res.Err, artifact.ErrRender):
-			// A renderer failure on a well-formed request is a server
-			// defect, not a caller mistake.
-			http.Error(w, res.Err.Error(), http.StatusInternalServerError)
-		case errors.Is(res.Err, artifact.ErrUnknownFormat), errors.Is(res.Err, artifact.ErrNoEFSM):
-			http.Error(w, res.Err.Error(), http.StatusBadRequest)
-		default:
-			// Model construction rejected the parameter value.
-			http.Error(w, res.Err.Error(), http.StatusBadRequest)
-		}
-		return
-	}
-
-	etag := `"` + res.ContentHash() + `"`
-	w.Header().Set("ETag", etag)
-	w.Header().Set("Cache-Control", "public, max-age=3600")
-	if !res.Fingerprint.IsZero() {
-		w.Header().Set("X-Machine-Fingerprint", res.Fingerprint.String())
-	}
-	if ifNoneMatchHas(r.Header.Get("If-None-Match"), etag) {
-		w.WriteHeader(http.StatusNotModified)
-		return
-	}
-	w.Header().Set("Content-Type", res.Artifact.MediaType)
-	w.Header().Set("Content-Length", strconv.Itoa(len(res.Artifact.Data)))
-	w.Write(res.Artifact.Data)
-}
-
-// ifNoneMatchHas reports whether the If-None-Match header value names the
-// ETag (or is the wildcard).
-func ifNoneMatchHas(header, etag string) bool {
-	if header == "" {
-		return false
-	}
-	if strings.TrimSpace(header) == "*" {
-		return true
-	}
-	for _, candidate := range strings.Split(header, ",") {
-		candidate = strings.TrimSpace(candidate)
-		candidate = strings.TrimPrefix(candidate, "W/")
-		if candidate == etag {
-			return true
-		}
-	}
-	return false
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
 }

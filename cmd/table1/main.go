@@ -1,9 +1,9 @@
 // Command table1 regenerates the paper's Table 1: for each published
-// (f, r) pair it executes the commit abstract model, reports the initial
-// and final state counts — which must match the paper exactly — and
-// measures the wall-clock generation time on this machine (the paper's
-// times were taken on a 2.33 GHz Core 2 Duo; only the growth shape is
-// comparable).
+// (f, r) pair it executes the commit abstract model through the public
+// asagen SDK, reports the initial and final state counts — which must
+// match the paper exactly — and measures the wall-clock generation time
+// on this machine (the paper's times were taken on a 2.33 GHz Core 2
+// Duo; only the growth shape is comparable).
 //
 // With -model set to another registry entry the command prints the
 // analogous sweep table for that scenario (no published numbers exist, so
@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +23,7 @@ import (
 	"text/tabwriter"
 	"time"
 
-	"asagen/internal/commit"
-	"asagen/internal/core"
-	"asagen/internal/models"
+	"asagen"
 )
 
 // paperRows are the published Table 1 rows: fault tolerance, replication
@@ -50,8 +49,14 @@ func main() {
 }
 
 func run(args []string) error {
+	client := asagen.NewClient()
+	modelNames := make([]string, 0, len(client.Models()))
+	for _, m := range client.Models() {
+		modelNames = append(modelNames, m.Name)
+	}
+
 	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
-	modelName := fs.String("model", "commit", "registered model: "+strings.Join(models.Names(), ", "))
+	modelName := fs.String("model", "commit", "registered model: "+strings.Join(modelNames, ", "))
 	showPaper := fs.Bool("paper", true, "include the paper's published numbers for comparison (commit only)")
 	variant := fs.String("variant", "strict", "commit Fig. 9 reading: strict or redundant")
 	params := fs.String("params", "", "comma-separated parameter values (default: the model's sweep)")
@@ -72,22 +77,24 @@ func run(args []string) error {
 		return fmt.Errorf("unknown variant %q", *variant)
 	}
 
-	entry, err := models.Get(*modelName)
+	info, err := client.Model(*modelName)
 	if err != nil {
 		return err
 	}
 
-	genOpts := []core.Option{core.WithoutDescriptions()}
+	// WithoutCache keeps every repeat an honest from-scratch generation —
+	// the measurement must not be answered from the client's memo.
+	genOpts := []asagen.GenerateOption{asagen.WithoutDescriptions(), asagen.WithoutCache()}
 	if *workers > 1 {
-		genOpts = append(genOpts, core.WithWorkers(*workers))
+		genOpts = append(genOpts, asagen.WithWorkers(*workers))
 	}
 
-	commitFamily := entry.Vocabulary == models.VocabularyCommit
+	commitFamily := info.Vocabulary == asagen.VocabularyCommit
 	if !commitFamily {
 		*showPaper = false
 	}
 
-	sweep := entry.SweepParams
+	sweep := info.SweepParams
 	if *params != "" {
 		sweep, err = parseParams(*params)
 		if err != nil {
@@ -101,7 +108,7 @@ func run(args []string) error {
 	defer w.Flush()
 	header := "f\tr\tinitial states\tfinal states\tgeneration time (s)"
 	if !commitFamily {
-		header = entry.ParamName + "\tinitial states\tfinal states\tgeneration time (s)"
+		header = info.ParamName + "\tinitial states\tfinal states\tgeneration time (s)"
 	}
 	if *showPaper {
 		header += "\tpaper initial\tpaper final\tpaper time (s)"
@@ -113,17 +120,15 @@ func run(args []string) error {
 		paperByR[row.r] = i
 	}
 
+	ctx := context.Background()
 	mismatches := 0
 	for _, param := range sweep {
-		model, err := entry.Build(param)
-		if err != nil {
-			return err
-		}
-		var machine *core.StateMachine
+		var machine *asagen.Machine
 		best := time.Duration(0)
 		for rep := 0; rep < max(1, *repeats); rep++ {
+			opts := append([]asagen.GenerateOption{asagen.WithParam(param)}, genOpts...)
 			start := time.Now()
-			machine, err = core.Generate(model, genOpts...)
+			machine, err = client.Generate(ctx, *modelName, opts...)
 			elapsed := time.Since(start)
 			if err != nil {
 				return err
@@ -132,23 +137,24 @@ func run(args []string) error {
 				best = elapsed
 			}
 		}
+		st := machine.Stats()
 		var line string
 		if commitFamily {
 			f := (param - 1) / 3
-			if cm, ok := model.(*commit.Model); ok {
-				f = cm.FaultTolerance()
+			if ft, ok := machine.FaultTolerance(); ok {
+				f = ft
 			}
 			line = fmt.Sprintf("%d\t%d\t%d\t%d\t%.4f",
-				f, param, machine.Stats.InitialStates, machine.Stats.FinalStates, best.Seconds())
+				f, param, st.InitialStates, st.FinalStates, best.Seconds())
 		} else {
 			line = fmt.Sprintf("%d\t%d\t%d\t%.4f",
-				param, machine.Stats.InitialStates, machine.Stats.FinalStates, best.Seconds())
+				param, st.InitialStates, st.FinalStates, best.Seconds())
 		}
 		if i, ok := paperByR[param]; *showPaper && ok {
 			row := paperRows[i]
 			line += fmt.Sprintf("\t%d\t%d\t%.2f", row.initialStates, row.finalStates, row.paperSeconds)
-			if machine.Stats.InitialStates != row.initialStates ||
-				machine.Stats.FinalStates != row.finalStates {
+			if st.InitialStates != row.initialStates ||
+				st.FinalStates != row.finalStates {
 				line += "\tMISMATCH"
 				mismatches++
 			}

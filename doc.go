@@ -1,17 +1,28 @@
-// Package asagen reproduces "Design, Implementation and Deployment of
-// State Machines Using a Generative Approach" (Kirby, Dearle, Norcross;
-// DSN 2007): a generative methodology in which a distributed algorithm
-// whose state space depends on a parameter is captured once as an abstract
-// model, from which a family of finite state machines — and their textual,
-// diagrammatic, documentary and source-code artefacts — are generated.
+// Package asagen is the public SDK of a reproduction of "Design,
+// Implementation and Deployment of State Machines Using a Generative
+// Approach" (Kirby, Dearle, Norcross; DSN 2007): a generative
+// methodology in which a distributed algorithm whose state space depends
+// on a parameter is captured once as an abstract model, from which a
+// family of finite state machines — and their textual, diagrammatic,
+// documentary and source-code artefacts — are generated.
 //
-// Generation is reachability-first: machines are explored from the start
-// state via a deterministic frontier expansion, so cost scales with the
-// reachable set rather than the component cross product. Every scenario
-// (commit, commit-redundant, consensus, termination) is registered in
-// internal/models and selectable by name from all commands via -model.
+// The facade is Client: it exposes the scenario registry (Models), the
+// artefact format registry (Formats), context-aware machine generation
+// (Generate), memoised artefact rendering (Render, and the RenderAll /
+// Stream iterators), and interpreter execution of generated machines
+// (Machine.NewInstance). Generation is reachability-first and memoised
+// per model fingerprint: concurrent first requests share one in-flight
+// generation, and cancelling a request's context aborts its generation
+// promptly without poisoning the cache.
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
-// paper-versus-measured record, and bench_test.go for the benchmark
-// harness that regenerates the paper's evaluation.
+// Failures classify under the package's sentinel errors —
+// ErrUnknownModel, ErrUnknownFormat, ErrNoEFSM, ErrStateSpaceOverflow,
+// ErrRender — while keeping the detailed messages of the underlying
+// layers.
+//
+// The same capabilities are served over HTTP by `fsmgen serve` as the
+// versioned /v1 API (see API.md). See DESIGN.md for the system
+// inventory, EXPERIMENTS.md for the paper-versus-measured record, and
+// bench_test.go for the benchmark harness that regenerates the paper's
+// evaluation.
 package asagen

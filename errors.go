@@ -1,0 +1,75 @@
+package asagen
+
+import (
+	"context"
+	"errors"
+
+	"asagen/internal/artifact"
+	"asagen/internal/core"
+	"asagen/internal/render"
+)
+
+// Sentinel errors classifying SDK failures. Every error returned by the
+// package matches at most one of these under errors.Is; context
+// cancellation surfaces as context.Canceled / context.DeadlineExceeded.
+var (
+	// ErrUnknownModel reports a model name absent from the registry. The
+	// error message names the registered models.
+	ErrUnknownModel = errors.New("asagen: unknown model")
+	// ErrUnknownFormat reports an artefact format absent from the
+	// registry. The error message names the registered formats.
+	ErrUnknownFormat = errors.New("asagen: unknown format")
+	// ErrNoEFSM reports an EFSM artefact requested for a model that
+	// declares no EFSM generalisation.
+	ErrNoEFSM = errors.New("asagen: model declares no EFSM generalisation")
+	// ErrStateSpaceOverflow reports a state space whose size exceeds what
+	// the generator can address (legacy full enumeration only; the default
+	// reachability-first path saturates instead).
+	ErrStateSpaceOverflow = errors.New("asagen: state space overflow")
+	// ErrRender reports a renderer failure on a well-formed request — a
+	// library defect rather than a caller mistake.
+	ErrRender = errors.New("asagen: render failed")
+)
+
+// apiError binds an internal error's message to a public sentinel: Error()
+// and Unwrap() expose the detailed cause, while errors.Is matches the
+// sentinel.
+type apiError struct {
+	sentinel error
+	cause    error
+}
+
+func (e *apiError) Error() string { return e.cause.Error() }
+
+func (e *apiError) Is(target error) bool { return target == e.sentinel }
+
+func (e *apiError) Unwrap() error { return e.cause }
+
+// wrapSentinel attaches sentinel to cause, keeping cause's message.
+func wrapSentinel(sentinel, cause error) error {
+	return &apiError{sentinel: sentinel, cause: cause}
+}
+
+// mapErr classifies an internal-layer error under the package's public
+// sentinels. Context errors and unclassified errors (e.g. a model rejecting
+// its parameter value) pass through unchanged.
+func mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return err
+	case errors.Is(err, artifact.ErrUnknownModel):
+		return wrapSentinel(ErrUnknownModel, err)
+	case errors.Is(err, artifact.ErrUnknownFormat), errors.Is(err, render.ErrUnknownFormat):
+		return wrapSentinel(ErrUnknownFormat, err)
+	case errors.Is(err, artifact.ErrNoEFSM):
+		return wrapSentinel(ErrNoEFSM, err)
+	case errors.Is(err, core.ErrStateSpaceOverflow):
+		return wrapSentinel(ErrStateSpaceOverflow, err)
+	case errors.Is(err, artifact.ErrRender):
+		return wrapSentinel(ErrRender, err)
+	default:
+		return err
+	}
+}

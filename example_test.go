@@ -1,0 +1,105 @@
+package asagen_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"asagen"
+)
+
+// ExampleClient_Generate executes the BFT commit model for replication
+// factor 4 and inspects the generated family member — the paper's Table 1
+// first row.
+func ExampleClient_Generate() {
+	client := asagen.NewClient()
+	machine, err := client.Generate(context.Background(), "commit", asagen.WithParam(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, _ := machine.FaultTolerance()
+	st := machine.Stats()
+	fmt.Printf("%s r=%d tolerates f=%d\n", machine.ModelName(), machine.Parameter(), f)
+	fmt.Printf("%d initial -> %d final states\n", st.InitialStates, st.FinalStates)
+	// Output:
+	// commit r=4 tolerates f=1
+	// 512 initial -> 33 final states
+}
+
+// ExampleClient_Models lists the registered scenarios.
+func ExampleClient_Models() {
+	client := asagen.NewClient()
+	for _, m := range client.Models() {
+		if m.Vocabulary == asagen.VocabularyCommit {
+			fmt.Printf("%s (default %s %d)\n", m.Name, m.ParamName, m.DefaultParam)
+		}
+	}
+	// Output:
+	// commit (default replication factor 4)
+	// commit-redundant (default replication factor 4)
+}
+
+// ExampleClient_Render produces one artefact through the cached request
+// surface; repeated requests cost neither generation nor rendering.
+func ExampleClient_Render() {
+	client := asagen.NewClient()
+	res, err := client.Render(context.Background(), asagen.Request{Model: "commit", Format: "text"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strings.SplitN(string(res.Data), "\n", 2)[0])
+	fmt.Println("media type:", res.MediaType)
+	// Output:
+	// state machine: bft-commit
+	// media type: text/plain; charset=utf-8
+}
+
+// ExampleClient_Stream renders a batch concurrently and consumes results
+// as they complete, via the iterator API.
+func ExampleClient_Stream() {
+	client := asagen.NewClient()
+	reqs := []asagen.Request{
+		{Model: "commit", Format: "dot"},
+		{Model: "consensus", Format: "dot"},
+		{Model: "termination", Format: "dot"},
+	}
+	var names []string
+	for res := range client.Stream(context.Background(), reqs) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		names = append(names, fmt.Sprintf("%s (%d bytes ok)", res.Model, min(1, len(res.Data))))
+	}
+	sort.Strings(names) // completion order is arbitrary
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	// Output:
+	// commit (1 bytes ok)
+	// consensus (1 bytes ok)
+	// termination (1 bytes ok)
+}
+
+// ExampleMachine_NewInstance drives one uncontended commit round through
+// the machine interpreter.
+func ExampleMachine_NewInstance() {
+	client := asagen.NewClient()
+	machine, err := client.Generate(context.Background(), "commit")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := machine.NewInstance(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, msg := range []string{"FREE", "UPDATE", "VOTE", "VOTE", "COMMIT", "COMMIT"} {
+		if _, err := inst.Deliver(msg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("finished:", inst.Finished())
+	// Output:
+	// finished: true
+}

@@ -2,15 +2,15 @@
 // abstract model execution — textual catalogue (Fig. 14), Graphviz and XML
 // diagrams (Fig. 15), a compilable Go protocol implementation (Fig. 16),
 // markdown documentation, and the nine-state EFSM of §5.3 — into an output
-// directory. Any model in the registry can be rendered; the requests run
-// through the artefact pipeline, so the machine is generated exactly once
-// however many formats consume it.
+// directory, through the public SDK's streaming batch API. The machine is
+// generated exactly once however many formats consume it.
 //
 //	go run ./examples/codegen [-model commit] [-r 7] [-out artefacts]
 //	go run ./examples/codegen -model termination -r 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,23 +18,27 @@ import (
 	"path/filepath"
 	"strings"
 
-	"asagen/internal/artifact"
-	"asagen/internal/models"
-	"asagen/internal/render"
+	"asagen"
 )
 
 func main() {
-	modelName := flag.String("model", "commit", "registered model: "+strings.Join(models.Names(), ", "))
+	client := asagen.NewClient()
+	modelNames := make([]string, 0, len(client.Models()))
+	for _, m := range client.Models() {
+		modelNames = append(modelNames, m.Name)
+	}
+	modelName := flag.String("model", "commit", "registered model: "+strings.Join(modelNames, ", "))
 	r := flag.Int("r", 7, "model parameter")
 	out := flag.String("out", "artefacts", "output directory")
 	flag.Parse()
-	if err := run(*modelName, *r, *out); err != nil {
+	if err := run(client, *modelName, *r, *out); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(modelName string, r int, outDir string) error {
-	entry, err := models.Get(modelName)
+func run(client *asagen.Client, modelName string, r int, outDir string) error {
+	ctx := context.Background()
+	info, err := client.Model(modelName)
 	if err != nil {
 		return err
 	}
@@ -42,30 +46,30 @@ func run(modelName string, r int, outDir string) error {
 		return err
 	}
 
-	// One request per registered format; the pipeline renders them
-	// concurrently against a single memoised generation.
-	var reqs []artifact.Request
-	for _, format := range render.Formats() {
-		if render.IsEFSMFormat(format) && entry.EFSM == nil {
+	// One request per registered format; the client renders them
+	// concurrently against a single memoised generation and streams
+	// results as they complete.
+	var reqs []asagen.Request
+	for _, format := range client.Formats() {
+		if client.IsEFSMFormat(format) && !info.HasEFSM {
 			continue
 		}
-		reqs = append(reqs, artifact.Request{Model: entry.Name, Param: r, Format: format})
+		reqs = append(reqs, asagen.Request{Model: info.Name, Param: r, Format: format})
 	}
 
-	p := artifact.New()
-	for _, res := range p.RenderAll(reqs) {
+	for res := range client.Stream(ctx, reqs) {
 		if res.Err != nil {
-			return fmt.Errorf("%s/%s: %w", res.Request.Model, res.Request.Format, res.Err)
+			return fmt.Errorf("%s/%s: %w", res.Model, res.Format, res.Err)
 		}
 		path := filepath.Join(outDir, res.FileName())
-		if err := os.WriteFile(path, res.Artifact.Data, 0o644); err != nil {
+		if err := os.WriteFile(path, res.Data, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d bytes)\n", path, len(res.Artifact.Data))
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(res.Data))
 	}
 
-	st := p.Stats()
+	st := client.Stats()
 	fmt.Printf("\n%d artefacts from %d machine generation(s); render hits/misses %d/%d\n",
-		len(reqs), st.Machine.Generations, st.RenderHits, st.RenderMisses)
+		len(reqs), st.Generations, st.RenderHits, st.RenderMisses)
 	return nil
 }

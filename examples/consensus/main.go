@@ -1,23 +1,22 @@
-// Consensus: the §5.2 applicability claim in action — the same generative
-// machinery applied to the further message-counting algorithms registered
-// in the model registry: a Chandra–Toueg-style consensus
-// (rotating-coordinator round, majority thresholds) and
-// Dijkstra–Scholten-style termination detection. For each, the FSM family
-// member is generated for several parameter values, and the EFSM
-// generalisation collapses the family to a parameter-independent machine.
+// Consensus: the §5.2 applicability claim in action through the public
+// SDK — the same generative machinery applied to the further
+// message-counting algorithms in the model registry: a
+// Chandra–Toueg-style consensus (rotating-coordinator round, majority
+// thresholds) and Dijkstra–Scholten-style termination detection. For
+// each, the FSM family member is generated for several parameter values,
+// and the EFSM generalisation collapses the family to a
+// parameter-independent machine.
 //
 //	go run ./examples/consensus
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
-	"asagen/internal/consensus"
-	"asagen/internal/core"
-	"asagen/internal/models"
-	"asagen/internal/render"
-	"asagen/internal/runtime"
+	"asagen"
 )
 
 func main() {
@@ -26,80 +25,87 @@ func main() {
 	}
 }
 
-// sweep generates the entry's family member for each sweep parameter and
+// sweep generates the model's family member for each sweep parameter and
 // prints the size trajectory, demonstrating that any registered scenario
 // runs through the same reachability-first core.
-func sweep(entry models.Entry) error {
-	for _, param := range entry.SweepParams {
-		model, err := entry.Build(param)
+func sweep(ctx context.Context, client *asagen.Client, info asagen.ModelInfo) error {
+	for _, param := range info.SweepParams {
+		machine, err := client.Generate(ctx, info.Name, asagen.WithParam(param))
 		if err != nil {
 			return err
 		}
-		machine, err := core.Generate(model, core.WithoutDescriptions())
-		if err != nil {
-			return err
-		}
+		st := machine.Stats()
 		fmt.Printf("%s=%d: %5d raw states -> %3d final\n",
-			entry.ParamName, param, machine.Stats.InitialStates, machine.Stats.FinalStates)
+			info.ParamName, param, st.InitialStates, st.FinalStates)
 	}
 	return nil
 }
 
 func run() error {
+	client := asagen.NewClient()
+	ctx := context.Background()
+
 	fmt.Println("== consensus (Chandra-Toueg style) ==")
-	centry, err := models.Get("consensus")
+	cinfo, err := client.Model("consensus")
 	if err != nil {
 		return err
 	}
-	if err := sweep(centry); err != nil {
+	if err := sweep(ctx, client, cinfo); err != nil {
 		return err
 	}
-	efsm, err := centry.EFSM(7)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("EFSM: %d states, independent of n: %v\n\n", len(efsm.States), efsm.StateNames())
 
 	// Drive one decided round on the generated n=5 machine.
-	model, err := centry.Build(5)
+	machine, err := client.Generate(ctx, "consensus", asagen.WithParam(5))
 	if err != nil {
 		return err
 	}
-	machine, err := core.Generate(model, core.WithoutDescriptions())
-	if err != nil {
-		return err
-	}
-	inst, err := runtime.New(machine, runtime.ActionFunc(func(a string) {
+	inst, err := machine.NewInstance(func(a string) {
 		fmt.Printf("    action: %s\n", a)
-	}))
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Println("coordinator's round on the n=5 machine:")
 	for _, msg := range []string{
-		consensus.MsgPropose, consensus.MsgEstimate, consensus.MsgEstimate,
-		consensus.MsgProposal, consensus.MsgAck, consensus.MsgAck,
+		"PROPOSE", "ESTIMATE", "ESTIMATE", "PROPOSAL", "ACK", "ACK",
 	} {
 		if _, err := inst.Deliver(msg); err != nil {
 			return fmt.Errorf("deliver %s: %w", msg, err)
 		}
 		fmt.Printf("  %-9s -> %s\n", msg, inst.StateName())
 	}
-	fmt.Printf("decided: %v\n\n", inst.Finished())
+	fmt.Printf("decided: %v\n", inst.Finished())
+
+	cefsm, err := client.Render(ctx, asagen.Request{Model: "consensus", Param: 7, Format: "efsm"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("consensus EFSM, independent of n:\n%s\n", firstLines(string(cefsm.Data), 3))
 
 	fmt.Println("== termination detection (message counting) ==")
-	tentry, err := models.Get("termination")
+	tinfo, err := client.Model("termination")
 	if err != nil {
 		return err
 	}
-	if err := sweep(tentry); err != nil {
+	if err := sweep(ctx, client, tinfo); err != nil {
 		return err
 	}
-	tefsm, err := tentry.EFSM(4)
+
+	// The EFSM generalisation renders through the same request surface as
+	// every other artefact format.
+	res, err := client.Render(ctx, asagen.Request{Model: "termination", Param: 4, Format: "efsm"})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("EFSM: %d states, independent of k\n\n", len(tefsm.States))
-	fmt.Println(render.RenderEFSMText(tefsm))
+	fmt.Printf("\ntermination EFSM, independent of k:\n%s", res.Data)
 	return nil
+}
+
+// firstLines returns the first n lines of s.
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
 }

@@ -1,19 +1,18 @@
-// Quickstart: execute the abstract model of the BFT commit protocol for a
-// chosen replication factor, inspect the generated machine family member,
-// and run one commit round through the machine interpreter.
+// Quickstart: the public asagen SDK end to end — list the registered
+// scenarios, execute the BFT commit model for a chosen replication
+// factor, inspect the generated machine family member, render an
+// artefact, and run one commit round through the machine interpreter.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
-	"asagen/internal/commit"
-	"asagen/internal/core"
-	"asagen/internal/models"
-	"asagen/internal/render"
-	"asagen/internal/runtime"
+	"asagen"
 )
 
 func main() {
@@ -23,50 +22,51 @@ func main() {
 }
 
 func run() error {
-	// 1. Build the abstract model through the scenario registry: the
-	// structure shared by every member of the FSM family, parameterised by
-	// the replication factor.
-	generic, err := models.Build("commit", 4)
+	client := asagen.NewClient()
+	ctx := context.Background()
+
+	// 1. The scenario registry: every abstract model is selectable by
+	// name, with its parameter semantics described in the metadata.
+	fmt.Println("registered models:")
+	for _, m := range client.Models() {
+		fmt.Printf("  %-17s %s (%s, default %d)\n",
+			m.Name, m.Description, m.ParamName, m.DefaultParam)
+	}
+
+	// 2. Execute the commit model: generate the machine family member for
+	// replication factor 4. Repeated calls are answered from the client's
+	// fingerprint-keyed cache.
+	machine, err := client.Generate(ctx, "commit", asagen.WithParam(4))
 	if err != nil {
 		return err
 	}
-	model, ok := generic.(*commit.Model)
-	if !ok {
-		return fmt.Errorf("registry entry %q built %T, want *commit.Model", "commit", generic)
-	}
-	fmt.Printf("model %s: r=%d, tolerates f=%d Byzantine members\n",
-		model.Name(), model.ReplicationFactor(), model.FaultTolerance())
-	fmt.Printf("vote threshold %d (votes sent+received), commit threshold %d (received)\n\n",
-		model.VoteThreshold(), model.CommitThreshold())
+	f, _ := machine.FaultTolerance()
+	st := machine.Stats()
+	fmt.Printf("\nmodel %s: r=%d, tolerates f=%d Byzantine members\n",
+		machine.ModelName(), machine.Parameter(), f)
+	fmt.Printf("generated machine: %d raw states -> %d reachable -> %d final (paper: 512 -> 48 -> 33)\n",
+		st.InitialStates, st.ReachableStates, st.FinalStates)
+	fmt.Printf("fingerprint: %s\n\n", machine.Fingerprint()[:12])
 
-	// 2. Execute it: enumerate, generate transitions, prune, merge.
-	machine, err := core.Generate(model)
+	// 3. Render the paper's Fig. 14 textual catalogue; print its header.
+	res, err := machine.Render("text")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("generated machine: %d raw states -> %d reachable -> %d final (paper: 512 -> 48 -> 33)\n\n",
-		machine.Stats.InitialStates, machine.Stats.ReachableStates, machine.Stats.FinalStates)
-
-	// 3. Render one state in the paper's Fig. 14 textual format.
-	state := machine.StateByName("T/2/F/0/F/F/F")
-	if state == nil {
-		state = machine.Start
+	for _, line := range strings.SplitN(string(res.Data), "\n", 6)[:5] {
+		fmt.Println(line)
 	}
-	fmt.Println(render.NewTextRenderer().RenderState(machine, state))
 
 	// 4. Execute the machine: one uncontended commit round as seen by a
 	// member that receives the client update while free.
-	inst, err := runtime.New(machine, runtime.ActionFunc(func(action string) {
+	inst, err := machine.NewInstance(func(action string) {
 		fmt.Printf("    action: %s\n", action)
-	}))
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Println("driving one commit round through the interpreter:")
-	for _, msg := range []string{
-		commit.MsgFree, commit.MsgUpdate, commit.MsgVote, commit.MsgVote,
-		commit.MsgCommit, commit.MsgCommit,
-	} {
+	fmt.Println("\ndriving one commit round through the interpreter:")
+	for _, msg := range []string{"FREE", "UPDATE", "VOTE", "VOTE", "COMMIT", "COMMIT"} {
 		if _, err := inst.Deliver(msg); err != nil {
 			return fmt.Errorf("deliver %s: %w", msg, err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,7 +59,7 @@ func run() error {
 
 	// The version service needs its own network identities for members.
 	versionNet := simnet.New(seed + 1)
-	svc, err := version.NewService(versionNet, ring, replicationFactor)
+	svc, err := version.NewService(context.Background(), versionNet, ring, replicationFactor)
 	if err != nil {
 		return err
 	}

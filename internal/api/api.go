@@ -1,0 +1,367 @@
+// Package api is the versioned HTTP wire surface of the generation
+// service: the /v1 route family served by `fsmgen serve`, backed by the
+// artefact pipeline. Artefacts are immutable per fingerprint, so
+// responses carry a content-hash ETag and conditional requests are
+// answered 304 without rendering. Failures are reported in a JSON error
+// envelope:
+//
+//	{"error": {"code": "unknown_model", "message": "..."}}
+//
+// Every request is scoped to its own context: when the client disconnects
+// mid-generation, the generation aborts promptly and leaves no cache
+// entry (observable as a cancelled generation in /v1/stats).
+//
+// The pre-/v1 routes (/machine/{model}, /models, /formats, /stats) are
+// kept as thin deprecated shims with their original status-code mapping;
+// they answer with Deprecation and Link headers naming the successor
+// route.
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"asagen/internal/artifact"
+	"asagen/internal/models"
+	"asagen/internal/render"
+)
+
+// Error codes carried in the JSON error envelope.
+const (
+	CodeUnknownModel      = "unknown_model"
+	CodeUnknownFormat     = "unknown_format"
+	CodeNoEFSM            = "no_efsm"
+	CodeBadParameter      = "bad_parameter"
+	CodeRenderFailed      = "render_failed"
+	CodeNotFound          = "not_found"
+	CodeMethodNotAllowed  = "method_not_allowed"
+	CodeGenerationAborted = "generation_aborted"
+)
+
+// Route documents one wire endpoint; the served mux and the generated
+// API.md route table are both derived from the same list, so the document
+// cannot drift from the implementation.
+type Route struct {
+	// Method and Pattern are the net/http mux pattern parts, e.g. "GET"
+	// and "/v1/models/{model}".
+	Method  string
+	Pattern string
+	// Summary is a one-line description for the route table.
+	Summary string
+	// Query documents accepted query parameters as "name: meaning".
+	Query []string
+	// SupersededBy names the /v1 successor when the route is a deprecated
+	// legacy shim; empty for current routes.
+	SupersededBy string
+
+	handler http.HandlerFunc
+}
+
+// Handler serves the wire API over an artefact pipeline.
+type Handler struct {
+	p      *artifact.Pipeline
+	routes []Route
+	mux    *http.ServeMux
+}
+
+// NewHandler returns the HTTP handler serving the /v1 API and the legacy
+// shims over the pipeline.
+func NewHandler(p *artifact.Pipeline) *Handler {
+	h := &Handler{p: p}
+	h.routes = []Route{
+		{
+			Method:  "GET",
+			Pattern: "/v1/models",
+			Summary: "List registered models with their metadata.",
+			handler: h.handleModels,
+		},
+		{
+			Method:  "GET",
+			Pattern: "/v1/models/{model}",
+			Summary: "Describe one registered model.",
+			handler: h.handleModel,
+		},
+		{
+			Method:  "GET",
+			Pattern: "/v1/models/{model}/artifacts/{format}",
+			Summary: "Generate and render one artefact; cancelling the request aborts the generation.",
+			Query:   []string{"r: model parameter (default: the model's default)"},
+			handler: h.handleArtifact,
+		},
+		{
+			Method:  "GET",
+			Pattern: "/v1/formats",
+			Summary: "List registered artefact formats.",
+			handler: h.handleFormats,
+		},
+		{
+			Method:  "GET",
+			Pattern: "/v1/stats",
+			Summary: "Report pipeline cache statistics, including cancelled generations.",
+			handler: h.handleStats,
+		},
+		{
+			Method:       "GET",
+			Pattern:      "/machine/{model}",
+			Summary:      "Legacy artefact endpoint.",
+			Query:        []string{"format: artefact format (default text)", "r: model parameter"},
+			SupersededBy: "/v1/models/{model}/artifacts/{format}",
+			handler:      h.handleLegacyMachine,
+		},
+		{
+			Method:       "GET",
+			Pattern:      "/models",
+			Summary:      "Legacy model listing.",
+			SupersededBy: "/v1/models",
+			handler:      h.handleModels,
+		},
+		{
+			Method:       "GET",
+			Pattern:      "/formats",
+			Summary:      "Legacy format listing.",
+			SupersededBy: "/v1/formats",
+			handler:      h.handleFormats,
+		},
+		{
+			Method:       "GET",
+			Pattern:      "/stats",
+			Summary:      "Legacy statistics endpoint.",
+			SupersededBy: "/v1/stats",
+			handler:      h.handleStats,
+		},
+	}
+	h.mux = http.NewServeMux()
+	for _, route := range h.routes {
+		h.mux.HandleFunc(route.Pattern, methodGuard(route, route.handler))
+	}
+	// Unmatched paths get the JSON envelope rather than the mux's plain
+	// text 404.
+	h.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("no route %s %s; see API.md", r.Method, r.URL.Path))
+	})
+	return h
+}
+
+// Routes returns the route table the handler serves.
+func (h *Handler) Routes() []Route {
+	return append([]Route(nil), h.routes...)
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// methodGuard enforces the route's method (plus HEAD for GET routes),
+// answering other methods 405 with an Allow header and the JSON error
+// envelope, and stamps deprecation headers on legacy shims.
+func methodGuard(route Route, next http.HandlerFunc) http.HandlerFunc {
+	allow := route.Method
+	if route.Method == http.MethodGet {
+		allow = "GET, HEAD"
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != route.Method && !(route.Method == http.MethodGet && r.Method == http.MethodHead) {
+			w.Header().Set("Allow", allow)
+			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				fmt.Sprintf("method %s not allowed on %s (allow: %s)", r.Method, route.Pattern, allow))
+			return
+		}
+		if route.SupersededBy != "" {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", route.SupersededBy))
+		}
+		next(w, r)
+	}
+}
+
+// modelInfo is the wire representation of a registry entry.
+type modelInfo struct {
+	Name         string `json:"name"`
+	Description  string `json:"description"`
+	ParamName    string `json:"param_name"`
+	DefaultParam int    `json:"default_param"`
+	SweepParams  []int  `json:"sweep_params,omitempty"`
+	HasEFSM      bool   `json:"has_efsm"`
+	Vocabulary   string `json:"vocabulary,omitempty"`
+}
+
+func modelInfoFor(e models.Entry) modelInfo {
+	return modelInfo{
+		Name:         e.Name,
+		Description:  e.Description,
+		ParamName:    e.ParamName,
+		DefaultParam: e.DefaultParam,
+		SweepParams:  append([]int(nil), e.SweepParams...),
+		HasEFSM:      e.EFSM != nil,
+		Vocabulary:   e.Vocabulary,
+	}
+}
+
+func (h *Handler) handleModels(w http.ResponseWriter, r *http.Request) {
+	out := make([]modelInfo, 0, len(models.Names()))
+	for _, name := range models.Names() {
+		e, err := models.Get(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, modelInfoFor(e))
+	}
+	writeJSON(w, out)
+}
+
+func (h *Handler) handleModel(w http.ResponseWriter, r *http.Request) {
+	e, err := models.Get(r.PathValue("model"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, CodeUnknownModel, err.Error())
+		return
+	}
+	writeJSON(w, modelInfoFor(e))
+}
+
+func (h *Handler) handleFormats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, render.Formats())
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.p.Stats())
+}
+
+// handleArtifact serves /v1/models/{model}/artifacts/{format}. Unknown
+// models and formats are missing resources (404); parameter problems are
+// caller mistakes (400).
+func (h *Handler) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	h.renderArtifact(w, r, artifact.Request{
+		Model:  r.PathValue("model"),
+		Format: r.PathValue("format"),
+	}, false)
+}
+
+// handleLegacyMachine serves the deprecated /machine/{model}?format=&r=
+// shim with its original status mapping (unknown format was 400 there).
+func (h *Handler) handleLegacyMachine(w http.ResponseWriter, r *http.Request) {
+	req := artifact.Request{Model: r.PathValue("model"), Format: "text"}
+	if f := r.URL.Query().Get("format"); f != "" {
+		req.Format = f
+	}
+	h.renderArtifact(w, r, req, true)
+}
+
+func (h *Handler) renderArtifact(w http.ResponseWriter, r *http.Request, req artifact.Request, legacy bool) {
+	if rs := r.URL.Query().Get("r"); rs != "" {
+		param, err := strconv.Atoi(rs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadParameter,
+				fmt.Sprintf("bad parameter %q: %v", rs, err))
+			return
+		}
+		req.Param = param
+	}
+
+	res := h.p.Render(r.Context(), req)
+	if res.Err != nil {
+		h.writeRenderError(w, r, res.Err, legacy)
+		return
+	}
+
+	etag := `"` + res.ContentHash() + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=3600")
+	w.Header().Set("Vary", "Accept-Encoding")
+	if !res.Fingerprint.IsZero() {
+		w.Header().Set("X-Machine-Fingerprint", res.Fingerprint.String())
+	}
+	if ifNoneMatchHas(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", res.Artifact.MediaType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(res.Artifact.Data)))
+	w.Write(res.Artifact.Data)
+}
+
+// writeRenderError maps a pipeline error to a wire response. On the /v1
+// surface unknown models and formats are path segments, hence 404; the
+// legacy shim kept unknown formats at 400 because the format was a query
+// parameter there.
+func (h *Handler) writeRenderError(w http.ResponseWriter, r *http.Request, err error, legacy bool) {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() != nil {
+			// The client is gone (request-scoped cancellation); nothing
+			// useful can be written. Close without a body.
+			return
+		}
+		// This request is alive but shared work it waited on was aborted
+		// (e.g. the generation's starter disconnected): tell the client to
+		// retry rather than letting the server write an empty 200.
+		writeError(w, http.StatusServiceUnavailable, CodeGenerationAborted, err.Error())
+	case errors.Is(err, artifact.ErrUnknownModel):
+		writeError(w, http.StatusNotFound, CodeUnknownModel, err.Error())
+	case errors.Is(err, artifact.ErrUnknownFormat):
+		status := http.StatusNotFound
+		if legacy {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, CodeUnknownFormat, err.Error())
+	case errors.Is(err, artifact.ErrNoEFSM):
+		writeError(w, http.StatusBadRequest, CodeNoEFSM, err.Error())
+	case errors.Is(err, artifact.ErrRender):
+		// A renderer failure on a well-formed request is a server defect,
+		// not a caller mistake.
+		writeError(w, http.StatusInternalServerError, CodeRenderFailed, err.Error())
+	default:
+		// Model construction rejected the parameter value.
+		writeError(w, http.StatusBadRequest, CodeBadParameter, err.Error())
+	}
+}
+
+// ifNoneMatchHas reports whether the If-None-Match header value names the
+// ETag (or is the wildcard).
+func ifNoneMatchHas(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// errorEnvelope is the wire error shape of the /v1 API.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(errorEnvelope{Error: errorBody{Code: code, Message: message}})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,395 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asagen/internal/artifact"
+	"asagen/internal/core"
+	"asagen/internal/models"
+	"asagen/internal/render"
+)
+
+// slowModel is a linear chain whose Apply sleeps, so an HTTP-triggered
+// generation is reliably in flight when a test disconnects the client.
+type slowModel struct {
+	states int
+	delay  time.Duration
+}
+
+func (m *slowModel) Name() string   { return "api-slow" }
+func (m *slowModel) Parameter() int { return m.states }
+func (m *slowModel) Components() []core.StateComponent {
+	return []core.StateComponent{core.NewIntComponent("i", m.states)}
+}
+func (m *slowModel) Messages() []string { return []string{"next"} }
+func (m *slowModel) Start() core.Vector { return core.Vector{0} }
+
+func (m *slowModel) Apply(v core.Vector, msg string) (core.Effect, bool) {
+	if msg != "next" {
+		return core.Effect{}, false
+	}
+	if m.delay > 0 {
+		time.Sleep(m.delay)
+	}
+	if v[0] == m.states {
+		return core.Effect{Finished: true}, true
+	}
+	return core.Effect{Target: core.Vector{v[0] + 1}}, true
+}
+
+func (m *slowModel) DescribeState(core.Vector) []string { return nil }
+
+func init() {
+	models.Register(models.Entry{
+		Name:         "api-slow",
+		Description:  "synthetic slow-generation model for disconnect tests",
+		ParamName:    "chain length",
+		DefaultParam: 8,
+		Build: func(states int) (core.Model, error) {
+			return &slowModel{states: states, delay: 100 * time.Microsecond}, nil
+		},
+	})
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, header http.Header) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// envelope decodes the JSON error envelope of a failure response.
+func envelope(t *testing.T, body string) errorBody {
+	t.Helper()
+	var env errorEnvelope
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("response is not an error envelope: %v (%q)", err, body)
+	}
+	return env.Error
+}
+
+func TestV1ArtifactEndpoint(t *testing.T) {
+	p := artifact.New()
+	ts := httptest.NewServer(NewHandler(p))
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/v1/models/commit/artifacts/dot?r=4", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.HasPrefix(body, "digraph") {
+		t.Errorf("body is not a DOT document: %.40s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "graphviz") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" || resp.Header.Get("X-Machine-Fingerprint") == "" {
+		t.Error("missing ETag or fingerprint header")
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "max-age") {
+		t.Errorf("Cache-Control = %q", cc)
+	}
+	if vary := resp.Header.Get("Vary"); vary != "Accept-Encoding" {
+		t.Errorf("Vary = %q, want Accept-Encoding on cacheable responses", vary)
+	}
+	if resp.Header.Get("Deprecation") != "" {
+		t.Error("current /v1 route carries a Deprecation header")
+	}
+
+	// Conditional revalidation answers 304 from the fingerprint-derived
+	// validator without a body.
+	resp2, body2 := get(t, ts, "/v1/models/commit/artifacts/dot?r=4",
+		http.Header{"If-None-Match": []string{etag}})
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Errorf("revalidation status = %d, want 304", resp2.StatusCode)
+	}
+	if body2 != "" {
+		t.Errorf("304 carried a body (%d bytes)", len(body2))
+	}
+}
+
+func TestV1ModelEndpoints(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(artifact.New()))
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/v1/models", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("models status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{"commit", "consensus", "termination", "replication factor", "sweep_params"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/v1/models missing %q", want)
+		}
+	}
+
+	resp, body = get(t, ts, "/v1/models/termination", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model status = %d", resp.StatusCode)
+	}
+	var info modelInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("model JSON: %v", err)
+	}
+	if info.Name != "termination" || info.ParamName != "fan-out bound" || !info.HasEFSM {
+		t.Errorf("model info = %+v", info)
+	}
+
+	resp, body = get(t, ts, "/v1/formats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("formats status = %d", resp.StatusCode)
+	}
+	var formats []string
+	if err := json.Unmarshal([]byte(body), &formats); err != nil {
+		t.Fatalf("formats JSON: %v", err)
+	}
+	if len(formats) != 7 {
+		t.Errorf("formats = %v, want 7 entries", formats)
+	}
+}
+
+func TestErrorEnvelope(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(artifact.New()))
+	defer ts.Close()
+	tests := []struct {
+		path     string
+		want     int
+		wantCode string
+	}{
+		{"/v1/models/nonsense", http.StatusNotFound, CodeUnknownModel},
+		{"/v1/models/nonsense/artifacts/text", http.StatusNotFound, CodeUnknownModel},
+		{"/v1/models/commit/artifacts/nonsense", http.StatusNotFound, CodeUnknownFormat},
+		{"/v1/models/commit/artifacts/text?r=notanumber", http.StatusBadRequest, CodeBadParameter},
+		{"/v1/models/commit/artifacts/text?r=3", http.StatusBadRequest, CodeBadParameter},
+		{"/nonsense", http.StatusNotFound, CodeNotFound},
+		// Legacy shim statuses are preserved: unknown format was 400.
+		{"/machine/nonsense", http.StatusNotFound, CodeUnknownModel},
+		{"/machine/commit?format=nonsense", http.StatusBadRequest, CodeUnknownFormat},
+		{"/machine/commit?r=notanumber", http.StatusBadRequest, CodeBadParameter},
+		{"/machine/commit?r=3", http.StatusBadRequest, CodeBadParameter},
+	}
+	for _, tt := range tests {
+		resp, body := get(t, ts, tt.path, nil)
+		if resp.StatusCode != tt.want {
+			t.Errorf("GET %s = %d, want %d", tt.path, resp.StatusCode, tt.want)
+			continue
+		}
+		if code := envelope(t, body).Code; code != tt.wantCode {
+			t.Errorf("GET %s code = %q, want %q", tt.path, code, tt.wantCode)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(artifact.New()))
+	defer ts.Close()
+	for _, path := range []string{"/v1/models", "/v1/models/commit/artifacts/text", "/v1/stats", "/models"} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d, want 405", path, resp.StatusCode)
+			continue
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+			t.Errorf("POST %s Allow = %q, want \"GET, HEAD\"", path, allow)
+		}
+		if code := envelope(t, string(body)).Code; code != CodeMethodNotAllowed {
+			t.Errorf("POST %s code = %q", path, code)
+		}
+	}
+}
+
+func TestLegacyShimsDeprecatedButByteIdentical(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(artifact.New()))
+	defer ts.Close()
+
+	// Every registry (model × format) pair must render byte-identically
+	// through the /v1 route and the legacy shim.
+	for _, name := range models.Names() {
+		entry, err := models.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "api-slow" {
+			continue // synthetic cancellation fixture; large default chain
+		}
+		for _, format := range render.Formats() {
+			if render.IsEFSMFormat(format) && entry.EFSM == nil {
+				continue
+			}
+			v1Path := fmt.Sprintf("/v1/models/%s/artifacts/%s", name, format)
+			legacyPath := fmt.Sprintf("/machine/%s?format=%s", name, format)
+			v1Resp, v1Body := get(t, ts, v1Path, nil)
+			legacyResp, legacyBody := get(t, ts, legacyPath, nil)
+			if v1Resp.StatusCode != http.StatusOK || legacyResp.StatusCode != http.StatusOK {
+				t.Fatalf("%s/%s: status v1=%d legacy=%d", name, format, v1Resp.StatusCode, legacyResp.StatusCode)
+			}
+			if v1Body != legacyBody {
+				t.Errorf("%s/%s: /v1 and legacy artefacts differ (%d vs %d bytes)",
+					name, format, len(v1Body), len(legacyBody))
+			}
+			if v1Resp.Header.Get("ETag") != legacyResp.Header.Get("ETag") {
+				t.Errorf("%s/%s: ETag differs between /v1 and legacy", name, format)
+			}
+			if legacyResp.Header.Get("Deprecation") != "true" {
+				t.Errorf("%s/%s: legacy response missing Deprecation header", name, format)
+			}
+			if link := legacyResp.Header.Get("Link"); !strings.Contains(link, "successor-version") {
+				t.Errorf("%s/%s: legacy Link = %q", name, format, link)
+			}
+		}
+	}
+}
+
+// TestConcurrentSingleGeneration is the serve-mode acceptance check:
+// concurrent requests across formats and repeats of one model cost at most
+// one generation per distinct model fingerprint, observed via /v1/stats.
+func TestConcurrentSingleGeneration(t *testing.T) {
+	p := artifact.New()
+	ts := httptest.NewServer(NewHandler(p))
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		for _, format := range []string{"text", "dot", "xml", "go", "doc"} {
+			wg.Add(1)
+			go func(format string) {
+				defer wg.Done()
+				resp, body := get(t, ts, "/v1/models/consensus/artifacts/"+format+"?r=5", nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d: %s", format, resp.StatusCode, body)
+				}
+			}(format)
+		}
+	}
+	wg.Wait()
+
+	resp, body := get(t, ts, "/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var got artifact.Stats
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if got.Machine.Generations != 1 {
+		t.Errorf("reported generations = %d, want 1 for one distinct fingerprint", got.Machine.Generations)
+	}
+}
+
+// TestEquivalentParamsShareOneGeneration: distinct requests that resolve
+// to the same fingerprint (the default parameter given explicitly and
+// implicitly) share one cache entry.
+func TestEquivalentParamsShareOneGeneration(t *testing.T) {
+	p := artifact.New()
+	ts := httptest.NewServer(NewHandler(p))
+	defer ts.Close()
+	for _, path := range []string{
+		"/v1/models/termination/artifacts/text",
+		"/v1/models/termination/artifacts/text?r=4",
+		"/machine/termination?format=text&r=4",
+	} {
+		if resp, body := get(t, ts, path, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d %s", path, resp.StatusCode, body)
+		}
+	}
+	if st := p.Stats(); st.Machine.Generations != 1 {
+		t.Errorf("generations = %d, want 1", st.Machine.Generations)
+	}
+}
+
+// TestClientDisconnectAbortsGeneration is the /v1 cancellation acceptance
+// check: a client that disconnects mid-generation aborts the generation
+// server-side — /v1/stats reports a cancellation and no completed
+// generation, and the cache holds no entry for the aborted fingerprint.
+func TestClientDisconnectAbortsGeneration(t *testing.T) {
+	p := artifact.New(artifact.WithGenerateOptions(core.WithoutMerging(), core.WithoutDescriptions()))
+	ts := httptest.NewServer(NewHandler(p))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		ts.URL+"/v1/models/api-slow/artifacts/text?r=5000", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ts.Client().Do(req)
+		errc <- err
+	}()
+
+	// Wait until the generation is in flight, then drop the client.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Machine.Misses < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("generation did not start within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("disconnected request reported no error")
+	}
+
+	// The server-side abort is observable in the stats shortly after.
+	deadline = time.Now().Add(5 * time.Second)
+	for p.Stats().Machine.Cancellations < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no cancellation recorded; stats = %+v", p.Stats().Machine)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := p.Stats().Machine
+	if st.Generations != 0 {
+		t.Errorf("generations = %d, want 0 (aborted run must not count)", st.Generations)
+	}
+	if st.Entries != 0 {
+		t.Errorf("cache entries = %d, want 0 after the aborted generation", st.Entries)
+	}
+}
+
+func TestStatsEndpointReportsCancellationsField(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(artifact.New()))
+	defer ts.Close()
+	resp, body := get(t, ts, "/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "Cancellations") {
+		t.Errorf("/v1/stats missing the Cancellations counter: %s", body)
+	}
+}

@@ -1,0 +1,69 @@
+package api
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders the route table as the API.md document checked into
+// the repository root. The document is generated from the same Route list
+// the handler serves, and a test fails when the checked-in file drifts
+// (regenerate with `go test ./internal/api -run TestAPIDocument -update`).
+func (h *Handler) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# asagen wire API\n\n")
+	b.WriteString("<!-- Generated from internal/api; do not edit by hand.\n")
+	b.WriteString("     Regenerate: go test ./internal/api -run TestAPIDocument -update -->\n\n")
+	b.WriteString("The HTTP generation service started by `fsmgen serve`. All routes are\n")
+	b.WriteString("read-only; non-GET methods are answered `405` with an `Allow` header.\n")
+	b.WriteString("Artefact responses carry a content-hash `ETag`, `Cache-Control` and\n")
+	b.WriteString("`Vary` headers, and revalidate via `If-None-Match` to `304`. Closing\n")
+	b.WriteString("the connection mid-request cancels the generation server-side (the\n")
+	b.WriteString("abort is visible as `cancellations` in `/v1/stats`).\n\n")
+
+	b.WriteString("## Versioned routes (`/v1`)\n\n")
+	b.WriteString("| Method | Path | Query | Description |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, r := range h.routes {
+		if r.SupersededBy != "" {
+			continue
+		}
+		fmt.Fprintf(&b, "| %s | `%s` | %s | %s |\n",
+			r.Method, r.Pattern, queryCell(r.Query), r.Summary)
+	}
+
+	b.WriteString("\n## Error envelope\n\n")
+	b.WriteString("Failures are reported as JSON:\n\n")
+	b.WriteString("```json\n{\"error\": {\"code\": \"unknown_model\", \"message\": \"...\"}}\n```\n\n")
+	b.WriteString("| Code | Status | Meaning |\n")
+	b.WriteString("|---|---|---|\n")
+	b.WriteString("| `unknown_model` | 404 | model name absent from the registry |\n")
+	b.WriteString("| `unknown_format` | 404 (400 on the legacy shim) | format name absent from the registry |\n")
+	b.WriteString("| `no_efsm` | 400 | EFSM format requested for a model without an EFSM generalisation |\n")
+	b.WriteString("| `bad_parameter` | 400 | unparsable or model-rejected parameter value |\n")
+	b.WriteString("| `render_failed` | 500 | renderer failure on a well-formed request |\n")
+	b.WriteString("| `generation_aborted` | 503 | shared in-flight generation aborted by another request's disconnect; retry |\n")
+	b.WriteString("| `not_found` | 404 | no such route |\n")
+	b.WriteString("| `method_not_allowed` | 405 | non-GET method; see the `Allow` header |\n")
+
+	b.WriteString("\n## Deprecated routes\n\n")
+	b.WriteString("Kept as thin shims; each answers with `Deprecation: true` and a\n")
+	b.WriteString("`Link: <successor>; rel=\"successor-version\"` header.\n\n")
+	b.WriteString("| Method | Path | Query | Successor |\n")
+	b.WriteString("|---|---|---|---|\n")
+	for _, r := range h.routes {
+		if r.SupersededBy == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "| %s | `%s` | %s | `%s` |\n",
+			r.Method, r.Pattern, queryCell(r.Query), r.SupersededBy)
+	}
+	return b.String()
+}
+
+func queryCell(query []string) string {
+	if len(query) == 0 {
+		return "—"
+	}
+	return "`" + strings.Join(query, "`; `") + "`"
+}

@@ -1,0 +1,33 @@
+package api
+
+import (
+	"flag"
+	"os"
+	"testing"
+
+	"asagen/internal/artifact"
+)
+
+var update = flag.Bool("update", false, "rewrite API.md from the served route table")
+
+// TestAPIDocument checks the repository's API.md against the route table
+// the handler actually serves, so the document cannot drift from the
+// implementation. Regenerate with:
+//
+//	go test ./internal/api -run TestAPIDocument -update
+func TestAPIDocument(t *testing.T) {
+	const path = "../../API.md"
+	want := NewHandler(artifact.New()).Markdown()
+	if *update {
+		if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("API.md unreadable (run with -update to generate): %v", err)
+	}
+	if string(got) != want {
+		t.Error("API.md drifted from the served route table; regenerate with: go test ./internal/api -run TestAPIDocument -update")
+	}
+}

@@ -9,6 +9,7 @@
 package artifact
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -101,8 +102,10 @@ type efsmKey struct {
 	param int
 }
 
+// efsmEntry memoises one EFSM build; done is closed when efsm and err are
+// final.
 type efsmEntry struct {
-	once sync.Once
+	done chan struct{}
 	efsm *core.EFSM
 	err  error
 }
@@ -194,8 +197,19 @@ func (p *Pipeline) Purge() {
 // Render produces the artefact for one request. Generation is memoised
 // per model fingerprint and rendering per (fingerprint, format), both
 // single-flight: concurrent first requests share one computation.
-func (p *Pipeline) Render(req Request) Result {
+//
+// Cancelling ctx aborts an in-flight generation promptly; the aborted
+// generation leaves no cache entry, and Result.Err carries ctx.Err(). A
+// nil ctx is treated as context.Background().
+func (p *Pipeline) Render(ctx context.Context, req Request) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := Result{Request: req}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
 	entry, err := models.Get(req.Model)
 	if err != nil {
 		res.Err = fmt.Errorf("%w: %q (known: %v)", ErrUnknownModel, req.Model, models.Names())
@@ -215,7 +229,7 @@ func (p *Pipeline) Render(req Request) Result {
 			res.Err = fmt.Errorf("%w: %q", ErrNoEFSM, req.Model)
 			return res
 		}
-		efsm, err := p.efsmFor(entry, req.Param)
+		efsm, err := p.efsmFor(ctx, entry, req.Param)
 		if err != nil {
 			res.Err = err
 			return res
@@ -240,7 +254,7 @@ func (p *Pipeline) Render(req Request) Result {
 		return res
 	}
 	res.Fingerprint = p.cache.Fingerprint(model)
-	machine, err := p.cache.MachineForFingerprint(res.Fingerprint, model)
+	machine, err := p.cache.MachineForFingerprint(ctx, res.Fingerprint, model)
 	if err != nil {
 		res.Err = err
 		return res
@@ -259,17 +273,36 @@ func (p *Pipeline) Render(req Request) Result {
 	return res
 }
 
-// efsmFor memoises the EFSM generalisation per (model, param).
-func (p *Pipeline) efsmFor(entry models.Entry, param int) (*core.EFSM, error) {
+// efsmFor memoises the EFSM generalisation per (model, param),
+// single-flight. As in the generation cache, a build aborted by context
+// cancellation is dropped rather than memoised, and waiters stop waiting
+// when their own context is cancelled.
+func (p *Pipeline) efsmFor(ctx context.Context, entry models.Entry, param int) (*core.EFSM, error) {
 	key := efsmKey{model: entry.Name, param: param}
 	p.mu.Lock()
 	e, ok := p.efsms[key]
-	if !ok {
-		e = &efsmEntry{}
-		p.efsms[key] = e
+	if ok {
+		p.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.efsm, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+	e = &efsmEntry{done: make(chan struct{})}
+	p.efsms[key] = e
 	p.mu.Unlock()
-	e.once.Do(func() { e.efsm, e.err = entry.EFSM(param) })
+
+	e.efsm, e.err = entry.EFSM(ctx, param)
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		p.mu.Lock()
+		if cur, ok := p.efsms[key]; ok && cur == e {
+			delete(p.efsms, key)
+		}
+		p.mu.Unlock()
+	}
+	close(e.done)
 	return e.efsm, e.err
 }
 
@@ -295,10 +328,12 @@ func (p *Pipeline) renderMemo(key renderKey, produce func() (render.Artifact, er
 }
 
 // RenderAll renders every request concurrently under the pipeline's
-// worker bound and returns the results in request order.
-func (p *Pipeline) RenderAll(reqs []Request) []Result {
+// worker bound and returns the results in request order. Cancelling ctx
+// makes the remaining requests complete immediately with ctx.Err() in
+// their Result.Err.
+func (p *Pipeline) RenderAll(ctx context.Context, reqs []Request) []Result {
 	results := make([]Result, len(reqs))
-	p.each(reqs, func(i int, res Result) { results[i] = res })
+	p.each(ctx, reqs, func(i int, res Result) { results[i] = res })
 	return results
 }
 
@@ -307,11 +342,11 @@ func (p *Pipeline) RenderAll(reqs []Request) []Result {
 // closed once all requests are done. It is buffered for the full request
 // count, so a consumer that stops reading early strands at most the
 // remaining renders' memory — never the worker goroutines.
-func (p *Pipeline) Stream(reqs []Request) <-chan Result {
+func (p *Pipeline) Stream(ctx context.Context, reqs []Request) <-chan Result {
 	out := make(chan Result, len(reqs))
 	go func() {
 		defer close(out)
-		p.each(reqs, func(_ int, res Result) { out <- res })
+		p.each(ctx, reqs, func(_ int, res Result) { out <- res })
 	}()
 	return out
 }
@@ -319,7 +354,7 @@ func (p *Pipeline) Stream(reqs []Request) <-chan Result {
 // each runs Render for every request on a bounded worker pool. deliver
 // must be safe for concurrent calls with distinct indices (slice writes to
 // distinct elements and channel sends both are).
-func (p *Pipeline) each(reqs []Request, deliver func(i int, res Result)) {
+func (p *Pipeline) each(ctx context.Context, reqs []Request, deliver func(i int, res Result)) {
 	workers := min(p.jobs, len(reqs))
 	if workers < 1 {
 		return
@@ -333,7 +368,7 @@ func (p *Pipeline) each(reqs []Request, deliver func(i int, res Result)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				deliver(i, p.Render(reqs[i]))
+				deliver(i, p.Render(ctx, reqs[i]))
 			}
 		}()
 	}

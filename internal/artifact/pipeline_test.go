@@ -2,6 +2,7 @@ package artifact
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -33,7 +34,7 @@ func TestCrossProductRenders(t *testing.T) {
 	}
 
 	p := New()
-	results := p.RenderAll(reqs)
+	results := p.RenderAll(context.Background(), reqs)
 	if len(results) != len(reqs) {
 		t.Fatalf("RenderAll returned %d results for %d requests", len(results), len(reqs))
 	}
@@ -79,11 +80,11 @@ func TestDeterminism(t *testing.T) {
 	}
 	var base []Result
 	for _, cfg := range configs {
-		results := New(cfg.opts...).RenderAll(reqs)
+		results := New(cfg.opts...).RenderAll(context.Background(), reqs)
 		if base == nil {
 			base = results
 			// A second run of an identical fresh pipeline must agree too.
-			results = New(cfg.opts...).RenderAll(reqs)
+			results = New(cfg.opts...).RenderAll(context.Background(), reqs)
 		}
 		for i, res := range results {
 			if res.Err != nil {
@@ -110,7 +111,7 @@ func TestConcurrentSingleFlight(t *testing.T) {
 			wg.Add(1)
 			go func(format string) {
 				defer wg.Done()
-				if res := p.Render(Request{Model: "commit", Format: format}); res.Err != nil {
+				if res := p.Render(context.Background(), Request{Model: "commit", Format: format}); res.Err != nil {
 					t.Errorf("%s: %v", format, res.Err)
 				}
 			}(format)
@@ -130,7 +131,7 @@ func TestStreamDeliversAll(t *testing.T) {
 	reqs := AllRequests()
 	p := New(WithJobs(4))
 	seen := map[Request]bool{}
-	for res := range p.Stream(reqs) {
+	for res := range p.Stream(context.Background(), reqs) {
 		if res.Err != nil {
 			t.Errorf("%s/%s: %v", res.Request.Model, res.Request.Format, res.Err)
 		}
@@ -143,13 +144,13 @@ func TestStreamDeliversAll(t *testing.T) {
 
 func TestRequestErrors(t *testing.T) {
 	p := New()
-	if res := p.Render(Request{Model: "nonsense", Format: "text"}); !errors.Is(res.Err, ErrUnknownModel) {
+	if res := p.Render(context.Background(), Request{Model: "nonsense", Format: "text"}); !errors.Is(res.Err, ErrUnknownModel) {
 		t.Errorf("unknown model: %v", res.Err)
 	}
-	if res := p.Render(Request{Model: "commit", Format: "nonsense"}); !errors.Is(res.Err, ErrUnknownFormat) {
+	if res := p.Render(context.Background(), Request{Model: "commit", Format: "nonsense"}); !errors.Is(res.Err, ErrUnknownFormat) {
 		t.Errorf("unknown format: %v", res.Err)
 	}
-	if res := p.Render(Request{Model: "commit", Param: 3, Format: "text"}); res.Err == nil {
+	if res := p.Render(context.Background(), Request{Model: "commit", Param: 3, Format: "text"}); res.Err == nil {
 		t.Error("invalid parameter accepted")
 	}
 }
@@ -158,11 +159,11 @@ func TestRequestErrors(t *testing.T) {
 func TestPurgeForcesRegeneration(t *testing.T) {
 	p := New()
 	req := Request{Model: "termination", Format: "dot"}
-	if res := p.Render(req); res.Err != nil {
+	if res := p.Render(context.Background(), req); res.Err != nil {
 		t.Fatal(res.Err)
 	}
 	p.Purge()
-	if res := p.Render(req); res.Err != nil {
+	if res := p.Render(context.Background(), req); res.Err != nil {
 		t.Fatal(res.Err)
 	}
 	if st := p.Stats(); st.Machine.Generations != 2 {

@@ -1,6 +1,7 @@
 package commit
 
 import (
+	"context"
 	"fmt"
 
 	"asagen/internal/core"
@@ -170,12 +171,12 @@ func (a *Abstraction) Symbol(component, value int) string {
 
 // GenerateEFSM generates the commit machine for replication factor r and
 // coalesces it into the nine-state EFSM of §5.3.
-func GenerateEFSM(r int, opts ...Option) (*core.EFSM, error) {
+func GenerateEFSM(ctx context.Context, r int, opts ...Option) (*core.EFSM, error) {
 	m, err := NewModel(r, opts...)
 	if err != nil {
 		return nil, err
 	}
-	machine, err := core.Generate(m, core.WithoutDescriptions())
+	machine, err := core.Generate(ctx, m, core.WithoutDescriptions())
 	if err != nil {
 		return nil, fmt.Errorf("commit: generate machine: %w", err)
 	}

@@ -1,6 +1,7 @@
 package commit
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"strings"
@@ -13,9 +14,9 @@ import (
 // commit protocol contains 9 states, for every replication factor.
 func TestEFSMNineStates(t *testing.T) {
 	for _, r := range []int{4, 7, 13, 25, 46} {
-		efsm, err := GenerateEFSM(r)
+		efsm, err := GenerateEFSM(context.Background(), r)
 		if err != nil {
-			t.Fatalf("GenerateEFSM(%d): %v", r, err)
+			t.Fatalf("GenerateEFSM(context.Background(), %d): %v", r, err)
 		}
 		if got := len(efsm.States); got != 9 {
 			t.Errorf("r=%d: EFSM has %d states, want 9: %v", r, got, efsm.StateNames())
@@ -24,7 +25,7 @@ func TestEFSMNineStates(t *testing.T) {
 }
 
 func TestEFSMStateNames(t *testing.T) {
-	efsm, err := GenerateEFSM(13)
+	efsm, err := GenerateEFSM(context.Background(), 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func symbolicGuard(g core.Guard) string {
 // vote-count ceiling coincides with the vote threshold and some guarded
 // transitions degenerate; see DESIGN.md).
 func TestEFSMGenericInReplicationFactor(t *testing.T) {
-	base, err := GenerateEFSM(13)
+	base, err := GenerateEFSM(context.Background(), 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,9 +107,9 @@ func TestEFSMGenericInReplicationFactor(t *testing.T) {
 		t.Fatalf("base structure contains non-symbolic bounds:\n%s", baseStruct)
 	}
 	for _, r := range []int{16, 25, 46} {
-		e, err := GenerateEFSM(r)
+		e, err := GenerateEFSM(context.Background(), r)
 		if err != nil {
-			t.Fatalf("GenerateEFSM(%d): %v", r, err)
+			t.Fatalf("GenerateEFSM(context.Background(), %d): %v", r, err)
 		}
 		if s := efsmStructure(e); s != baseStruct {
 			t.Errorf("r=%d: EFSM structure differs from r=13:\n--- r=13:\n%s\n--- r=%d:\n%s", r, baseStruct, r, s)
@@ -121,9 +122,9 @@ func TestEFSMGenericInReplicationFactor(t *testing.T) {
 // (actions, finished) must agree at every step.
 func TestEFSMVsGenericDifferential(t *testing.T) {
 	for _, r := range []int{4, 7, 13} {
-		efsm, err := GenerateEFSM(r)
+		efsm, err := GenerateEFSM(context.Background(), r)
 		if err != nil {
-			t.Fatalf("GenerateEFSM(%d): %v", r, err)
+			t.Fatalf("GenerateEFSM(context.Background(), %d): %v", r, err)
 		}
 		for seed := int64(1); seed <= 25; seed++ {
 			rng := rand.New(rand.NewSource(seed))
@@ -160,7 +161,7 @@ func TestEFSMVsGenericDifferential(t *testing.T) {
 
 // TestEFSMVariables checks the counter variable set.
 func TestEFSMVariables(t *testing.T) {
-	efsm, err := GenerateEFSM(7)
+	efsm, err := GenerateEFSM(context.Background(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestEFSMVariables(t *testing.T) {
 // TestEFSMHappyPathTrace walks the uncontended commit round on the EFSM and
 // checks the state trajectory.
 func TestEFSMHappyPathTrace(t *testing.T) {
-	efsm, err := GenerateEFSM(4)
+	efsm, err := GenerateEFSM(context.Background(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}

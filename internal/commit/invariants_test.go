@@ -1,6 +1,7 @@
 package commit
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -144,11 +145,11 @@ func TestMergePreservesTraces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	merged, err := core.Generate(model, core.WithoutDescriptions())
+	merged, err := core.Generate(context.Background(), model, core.WithoutDescriptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	unmerged, err := core.Generate(model, core.WithoutDescriptions(), core.WithoutMerging())
+	unmerged, err := core.Generate(context.Background(), model, core.WithoutDescriptions(), core.WithoutMerging())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestMergedNamesCoverReachable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	machine, err := core.Generate(model, core.WithoutDescriptions())
+	machine, err := core.Generate(context.Background(), model, core.WithoutDescriptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package commit
 
 import (
+	"context"
 	"testing"
 
 	"asagen/internal/core"
@@ -34,7 +35,7 @@ func TestTable1Counts(t *testing.T) {
 		if got := m.FaultTolerance(); got != row.f {
 			t.Errorf("r=%d: fault tolerance = %d, want %d", row.r, got, row.f)
 		}
-		machine, err := core.Generate(m, core.WithoutDescriptions())
+		machine, err := core.Generate(context.Background(), m, core.WithoutDescriptions())
 		if err != nil {
 			t.Fatalf("Generate(r=%d): %v", row.r, err)
 		}
@@ -60,7 +61,7 @@ func TestFinalStatesClosedForm(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewModel(%d): %v", r, err)
 		}
-		machine, err := core.Generate(m, core.WithoutDescriptions())
+		machine, err := core.Generate(context.Background(), m, core.WithoutDescriptions())
 		if err != nil {
 			t.Fatalf("Generate(r=%d): %v", r, err)
 		}
@@ -94,7 +95,7 @@ func TestPipelineStageCounts(t *testing.T) {
 			if err != nil {
 				t.Fatalf("NewModel: %v", err)
 			}
-			machine, err := core.Generate(m)
+			machine, err := core.Generate(context.Background(), m)
 			if err != nil {
 				t.Fatalf("Generate: %v", err)
 			}
@@ -116,7 +117,7 @@ func TestRedundantVariantMatchesTable1(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewModel(%d): %v", row.r, err)
 		}
-		machine, err := core.Generate(m, core.WithoutDescriptions())
+		machine, err := core.Generate(context.Background(), m, core.WithoutDescriptions())
 		if err != nil {
 			t.Fatalf("Generate(r=%d): %v", row.r, err)
 		}
@@ -167,7 +168,7 @@ func mustGenerate(t *testing.T, r int, opts ...core.Option) *core.StateMachine {
 	if err != nil {
 		t.Fatalf("NewModel(%d): %v", r, err)
 	}
-	machine, err := core.Generate(m, opts...)
+	machine, err := core.Generate(context.Background(), m, opts...)
 	if err != nil {
 		t.Fatalf("Generate(r=%d): %v", r, err)
 	}

@@ -1,6 +1,7 @@
 package commit
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -92,7 +93,7 @@ func generateStats(t *testing.T, r int, v Variant, singlePass bool) core.Stats {
 	if singlePass {
 		opts = append(opts, core.WithSinglePassMerge())
 	}
-	machine, err := core.Generate(m, opts...)
+	machine, err := core.Generate(context.Background(), m, opts...)
 	if err != nil {
 		t.Fatalf("Generate(r=%d, %+v): %v", r, v, err)
 	}

@@ -11,6 +11,7 @@
 package consensus
 
 import (
+	"context"
 	"fmt"
 
 	"asagen/internal/core"
@@ -254,12 +255,12 @@ func (a *Abstraction) Symbol(component, value int) string {
 
 // GenerateEFSM generates the consensus machine for n processes and
 // coalesces it into the parameter-independent EFSM.
-func GenerateEFSM(n int) (*core.EFSM, error) {
+func GenerateEFSM(ctx context.Context, n int) (*core.EFSM, error) {
 	m, err := NewModel(n)
 	if err != nil {
 		return nil, err
 	}
-	machine, err := core.Generate(m, core.WithoutDescriptions())
+	machine, err := core.Generate(ctx, m, core.WithoutDescriptions())
 	if err != nil {
 		return nil, fmt.Errorf("consensus: generate machine: %w", err)
 	}

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func generate(t *testing.T, n int) *core.StateMachine {
 	if err != nil {
 		t.Fatalf("NewModel(%d): %v", n, err)
 	}
-	machine, err := core.Generate(m)
+	machine, err := core.Generate(context.Background(), m)
 	if err != nil {
 		t.Fatalf("Generate(n=%d): %v", n, err)
 	}
@@ -146,15 +147,15 @@ func TestDuplicateProposeIgnored(t *testing.T) {
 // TestEFSMIndependentOfN: the EFSM state space must not depend on the
 // process count — the §5.3 property carried over to the second algorithm.
 func TestEFSMIndependentOfN(t *testing.T) {
-	base, err := GenerateEFSM(7)
+	base, err := GenerateEFSM(context.Background(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	baseNames := strings.Join(base.StateNames(), ",")
 	for _, n := range []int{9, 15, 21} {
-		e, err := GenerateEFSM(n)
+		e, err := GenerateEFSM(context.Background(), n)
 		if err != nil {
-			t.Fatalf("GenerateEFSM(%d): %v", n, err)
+			t.Fatalf("GenerateEFSM(context.Background(), %d): %v", n, err)
 		}
 		if got := strings.Join(e.StateNames(), ","); got != baseNames {
 			t.Errorf("n=%d: EFSM states %s, want %s", n, got, baseNames)
@@ -164,7 +165,7 @@ func TestEFSMIndependentOfN(t *testing.T) {
 
 // TestEFSMHappyPath drives the coalesced machine through a full round.
 func TestEFSMHappyPath(t *testing.T) {
-	e, err := GenerateEFSM(5)
+	e, err := GenerateEFSM(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}

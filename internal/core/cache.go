@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -17,6 +19,13 @@ import (
 // machines — regardless of how they were constructed — share one entry,
 // and a long-running generation service can bound and observe the cache
 // through SetLimit, Purge and Stats.
+//
+// Lookups are context-aware. A generation runs under the context of the
+// request that started it; concurrent requests for the same fingerprint
+// wait on the in-flight generation but stop waiting as soon as their own
+// context is cancelled. A generation aborted by cancellation is removed
+// from the cache — the entry is never poisoned with a context error — so
+// the next request regenerates from scratch.
 
 // ModelFactory constructs the abstract model for a parameter value, e.g.
 // the commit model for a replication factor.
@@ -30,10 +39,13 @@ type CacheStats struct {
 	Misses int64
 	// Evictions counts entries dropped by the size bound.
 	Evictions int64
-	// Generations counts actual machine generations performed. Under
+	// Generations counts machine generations that ran to completion. Under
 	// concurrent first use of one fingerprint this stays at one: the
 	// in-flight generation is shared (single-flight).
 	Generations int64
+	// Cancellations counts generations aborted by context cancellation.
+	// Aborted generations never count as Generations and leave no entry.
+	Cancellations int64
 	// Entries is the current number of memoised machines.
 	Entries int
 }
@@ -57,13 +69,14 @@ type Cache struct {
 	// factory, and concurrent first calls invoke the factory once.
 	params map[int]*paramEntry
 
-	hits, misses, evictions, generations int64
+	hits, misses, evictions, generations, cancellations int64
 }
 
 // cacheEntry memoises one generation, sharing the work among concurrent
-// first requests for the same fingerprint.
+// first requests for the same fingerprint. done is closed when machine and
+// err are final; waiters select on it against their own context.
 type cacheEntry struct {
-	once    sync.Once
+	done    chan struct{}
 	machine *StateMachine
 	err     error
 }
@@ -108,8 +121,10 @@ func (c *Cache) Fingerprint(m Model) Fingerprint {
 
 // Machine returns the generated machine for the parameter, generating it
 // on first use. Errors are memoised too: a parameter the factory rejects
-// keeps being rejected without repeated work.
-func (c *Cache) Machine(parameter int) (*StateMachine, error) {
+// keeps being rejected without repeated work. Cancelling ctx aborts an
+// in-flight generation (or stops waiting on one another request owns) and
+// returns ctx.Err().
+func (c *Cache) Machine(ctx context.Context, parameter int) (*StateMachine, error) {
 	if c.factory == nil {
 		return nil, fmt.Errorf("core: cache has no model factory; use MachineFor")
 	}
@@ -136,45 +151,83 @@ func (c *Cache) Machine(parameter int) (*StateMachine, error) {
 	if pe.err != nil {
 		return nil, pe.err
 	}
-	return c.machineFor(pe.fp, pe.model)
+	return c.machineFor(ctx, pe.fp, pe.model)
 }
 
 // MachineFor returns the generated machine for an already-constructed
 // model, memoised by the model's fingerprint. Two distinct model values
 // with equal fingerprints share one generation and one machine.
-func (c *Cache) MachineFor(m Model) (*StateMachine, error) {
-	return c.machineFor(c.Fingerprint(m), m)
+func (c *Cache) MachineFor(ctx context.Context, m Model) (*StateMachine, error) {
+	return c.machineFor(ctx, c.Fingerprint(m), m)
 }
 
 // MachineForFingerprint is MachineFor with the fingerprint precomputed by
 // the caller (it must be c.Fingerprint(m)), so callers that also need the
 // fingerprint — e.g. for cache headers — hash the model once per request.
-func (c *Cache) MachineForFingerprint(fp Fingerprint, m Model) (*StateMachine, error) {
-	return c.machineFor(fp, m)
+func (c *Cache) MachineForFingerprint(ctx context.Context, fp Fingerprint, m Model) (*StateMachine, error) {
+	return c.machineFor(ctx, fp, m)
 }
 
-func (c *Cache) machineFor(fp Fingerprint, m Model) (*StateMachine, error) {
+func (c *Cache) machineFor(ctx context.Context, fp Fingerprint, m Model) (*StateMachine, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c.mu.Lock()
 	entry, ok := c.entries[fp]
 	if ok {
 		c.hits++
 		c.touchLocked(fp)
-	} else {
-		c.misses++
-		entry = &cacheEntry{}
-		c.entries[fp] = entry
-		c.order = append(c.order, fp)
-		c.evictLocked()
+		c.mu.Unlock()
+		// Another request owns the generation; wait for it, but no longer
+		// than this request's own context allows.
+		select {
+		case <-entry.done:
+			return entry.machine, entry.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+	c.misses++
+	entry = &cacheEntry{done: make(chan struct{})}
+	c.entries[fp] = entry
+	c.order = append(c.order, fp)
+	c.evictLocked()
 	c.mu.Unlock()
 
-	entry.once.Do(func() {
-		entry.machine, entry.err = Generate(m, c.opts...)
-		c.mu.Lock()
+	entry.machine, entry.err = Generate(ctx, m, c.opts...)
+	c.mu.Lock()
+	if isCancellation(entry.err) {
+		// An aborted generation must not poison the cache: drop the entry
+		// (all current waiters still observe the error through done) so
+		// the next request regenerates.
+		c.cancellations++
+		c.dropLocked(fp, entry)
+	} else {
 		c.generations++
-		c.mu.Unlock()
-	})
+	}
+	c.mu.Unlock()
+	close(entry.done)
 	return entry.machine, entry.err
+}
+
+// isCancellation reports whether err is a context cancellation or
+// deadline error.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// dropLocked removes the entry for fp if it is still the one given (it may
+// already have been evicted or replaced after a Purge).
+func (c *Cache) dropLocked(fp Fingerprint, entry *cacheEntry) {
+	if cur, ok := c.entries[fp]; ok && cur == entry {
+		delete(c.entries, fp)
+		for i, o := range c.order {
+			if o == fp {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // touchLocked moves fp to the most-recently-used end of the recency list.
@@ -233,11 +286,12 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Evictions:   c.evictions,
-		Generations: c.generations,
-		Entries:     len(c.entries),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Generations:   c.generations,
+		Cancellations: c.cancellations,
+		Entries:       len(c.entries),
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -26,11 +27,11 @@ func TestCacheMemoises(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1, err := cache.Machine(3)
+	m1, err := cache.Machine(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := cache.Machine(3)
+	m2, err := cache.Machine(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestCacheMemoises(t *testing.T) {
 	if got := f.calls.Load(); got != 1 {
 		t.Errorf("factory called %d times, want 1", got)
 	}
-	if _, err := cache.Machine(5); err != nil {
+	if _, err := cache.Machine(context.Background(), 5); err != nil {
 		t.Fatal(err)
 	}
 	if cache.Len() != 2 {
@@ -54,10 +55,10 @@ func TestCacheMemoisesErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cache.Machine(-1); err == nil {
+	if _, err := cache.Machine(context.Background(), -1); err == nil {
 		t.Fatal("bad parameter accepted")
 	}
-	if _, err := cache.Machine(-1); err == nil {
+	if _, err := cache.Machine(context.Background(), -1); err == nil {
 		t.Fatal("bad parameter accepted on second call")
 	}
 	if got := f.calls.Load(); got != 1 {
@@ -71,11 +72,11 @@ func TestCacheInvalidate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cache.Machine(3); err != nil {
+	if _, err := cache.Machine(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
 	cache.Invalidate(3)
-	if _, err := cache.Machine(3); err != nil {
+	if _, err := cache.Machine(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
 	if got := f.calls.Load(); got != 2 {
@@ -98,7 +99,7 @@ func TestCacheConcurrentFirstUse(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			machines[i], errs[i] = cache.Machine(4)
+			machines[i], errs[i] = cache.Machine(context.Background(), 4)
 		}()
 	}
 	wg.Wait()
@@ -127,10 +128,10 @@ func TestCacheStatsAndSingleFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cache.Machine(3); err != nil {
+	if _, err := cache.Machine(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cache.Machine(3); err != nil {
+	if _, err := cache.Machine(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
 	st := cache.Stats()
@@ -144,11 +145,11 @@ func TestCacheStatsAndSingleFlight(t *testing.T) {
 // generation.
 func TestCacheMachineForSharesFingerprint(t *testing.T) {
 	cache := NewGenerationCache(WithoutDescriptions())
-	m1, err := cache.MachineFor(&toyModel{max: 3})
+	m1, err := cache.MachineFor(context.Background(), &toyModel{max: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := cache.MachineFor(&toyModel{max: 3})
+	m2, err := cache.MachineFor(context.Background(), &toyModel{max: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestCacheMachineForSharesFingerprint(t *testing.T) {
 	if st := cache.Stats(); st.Generations != 1 {
 		t.Errorf("generations = %d, want 1", st.Generations)
 	}
-	if _, err := cache.Machine(3); err == nil {
+	if _, err := cache.Machine(context.Background(), 3); err == nil {
 		t.Error("factory-less cache accepted Machine call")
 	}
 }
@@ -171,7 +172,7 @@ func TestCacheLimitEvictsLRU(t *testing.T) {
 	}
 	cache.SetLimit(2)
 	for _, p := range []int{1, 2, 3} {
-		if _, err := cache.Machine(p); err != nil {
+		if _, err := cache.Machine(context.Background(), p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -185,14 +186,14 @@ func TestCacheLimitEvictsLRU(t *testing.T) {
 	// Parameter 1 was least recently used and must regenerate; the cached
 	// parameters must not.
 	calls := f.calls.Load()
-	if _, err := cache.Machine(3); err != nil {
+	if _, err := cache.Machine(context.Background(), 3); err != nil {
 		t.Fatal(err)
 	}
 	if f.calls.Load() != calls {
 		t.Error("cached parameter re-invoked the factory")
 	}
 	gens := cache.Stats().Generations
-	if _, err := cache.Machine(1); err != nil {
+	if _, err := cache.Machine(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := cache.Stats().Generations; got != gens+1 {
@@ -207,7 +208,7 @@ func TestCachePurge(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range []int{2, 3} {
-		if _, err := cache.Machine(p); err != nil {
+		if _, err := cache.Machine(context.Background(), p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -218,7 +219,7 @@ func TestCachePurge(t *testing.T) {
 		t.Errorf("Len = %d after purge", cache.Len())
 	}
 	calls := f.calls.Load()
-	if _, err := cache.Machine(2); err != nil {
+	if _, err := cache.Machine(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	if f.calls.Load() != calls+1 {

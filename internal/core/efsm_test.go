@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -86,7 +87,7 @@ func (a counterAbstraction) Symbol(component, value int) string {
 func buildCounterEFSM(t *testing.T, max int) *EFSM {
 	t.Helper()
 	model := counterModel{max: max}
-	machine, err := Generate(model)
+	machine, err := Generate(context.Background(), model)
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
@@ -200,7 +201,7 @@ func (badAbstraction) VarOps(string) []VarOp         { return nil }
 func (badAbstraction) Symbol(int, int) string        { return "" }
 
 func TestGeneralizeRejectsUnsoundAbstraction(t *testing.T) {
-	machine, err := Generate(counterModel{max: 4})
+	machine, err := Generate(context.Background(), counterModel{max: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

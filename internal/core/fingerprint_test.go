@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 import "testing"
 
 // fpModel returns a toyModel fingerprint under the given options.
@@ -45,7 +47,7 @@ func TestFingerprintIgnoresWorkers(t *testing.T) {
 
 func TestMachineFingerprintMatchesContent(t *testing.T) {
 	gen := func(opts ...Option) *StateMachine {
-		m, err := Generate(&toyModel{max: 3}, opts...)
+		m, err := Generate(context.Background(), &toyModel{max: 3}, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}

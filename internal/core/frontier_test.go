@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -39,7 +40,7 @@ func (hugeModel) Apply(v Vector, msg string) (Effect, bool) {
 }
 
 func TestFrontierToleratesCrossProductOverflow(t *testing.T) {
-	machine, err := Generate(hugeModel{})
+	machine, err := Generate(context.Background(), hugeModel{})
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
@@ -59,9 +60,9 @@ func TestFrontierToleratesCrossProductOverflow(t *testing.T) {
 }
 
 func TestLegacyEnumerationRejectsOverflow(t *testing.T) {
-	_, err := Generate(hugeModel{}, WithoutPruning())
+	_, err := Generate(context.Background(), hugeModel{}, WithoutPruning())
 	if !errors.Is(err, ErrStateSpaceOverflow) {
-		t.Fatalf("Generate(WithoutPruning) error = %v, want ErrStateSpaceOverflow", err)
+		t.Fatalf("Generate(context.Background(), WithoutPruning) error = %v, want ErrStateSpaceOverflow", err)
 	}
 }
 
@@ -115,12 +116,12 @@ func TestVectorCompareMatchesIndexOrder(t *testing.T) {
 // toy model for several worker counts, including counts exceeding the
 // frontier size.
 func TestWorkersMatchSerialToy(t *testing.T) {
-	serial, err := Generate(&toyModel{max: 5})
+	serial, err := Generate(context.Background(), &toyModel{max: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range []int{2, 3, 8, 64} {
-		parallel, err := Generate(&toyModel{max: 5}, WithWorkers(n))
+		parallel, err := Generate(context.Background(), &toyModel{max: 5}, WithWorkers(n))
 		if err != nil {
 			t.Fatalf("WithWorkers(%d): %v", n, err)
 		}
@@ -156,7 +157,7 @@ func (m *probeModel) Apply(v Vector, msg string) (Effect, bool) {
 
 func TestFrontierSkipsUnreachable(t *testing.T) {
 	m := &probeModel{toyModel: toyModel{max: 3}, visited: map[string]bool{}}
-	if _, err := Generate(m); err != nil {
+	if _, err := Generate(context.Background(), m); err != nil {
 		t.Fatal(err)
 	}
 	// The poison bit is never set by any transition, so no poisoned state

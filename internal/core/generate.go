@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -112,7 +113,15 @@ func (st *stateStore) intern(v Vector) int {
 // with the reachable set rather than the component cross product (§3.4
 // steps 1–3 fused). Equivalent states are then combined (step 4).
 // WithoutPruning selects the legacy full-enumeration pipeline instead.
-func Generate(m Model, opts ...Option) (*StateMachine, error) {
+//
+// Generation honours ctx: cancellation is observed between state
+// expansions, so a long-running generation for a large parameter value
+// aborts promptly with ctx.Err(). A nil ctx is treated as
+// context.Background().
+func Generate(ctx context.Context, m Model, opts ...Option) (*StateMachine, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := newGenConfig(opts)
 
 	components := m.Components()
@@ -149,9 +158,9 @@ func Generate(m Model, opts ...Option) (*StateMachine, error) {
 	}
 
 	if cfg.prune {
-		store, table, hasFinish, err = exploreFrontier(m, components, messages, start, cfg.workers)
+		store, table, hasFinish, err = exploreFrontier(ctx, m, components, messages, start, cfg.workers)
 	} else {
-		store, table, hasFinish, err = enumerateAll(m, components, messages, crossSize)
+		store, table, hasFinish, err = enumerateAll(ctx, m, components, messages, crossSize)
 	}
 	if err != nil {
 		return nil, err
@@ -184,15 +193,18 @@ func Generate(m Model, opts ...Option) (*StateMachine, error) {
 // store. Processing states in id order is exactly FIFO order, since new
 // states are appended in discovery order. With workers > 1 each BFS level is
 // expanded concurrently and merged deterministically.
-func exploreFrontier(m Model, components []StateComponent, messages []string, start Vector, workers int) (*stateStore, [][]rawTransition, bool, error) {
+func exploreFrontier(ctx context.Context, m Model, components []StateComponent, messages []string, start Vector, workers int) (*stateStore, [][]rawTransition, bool, error) {
 	if workers > 1 {
-		return exploreFrontierParallel(m, components, messages, start, workers)
+		return exploreFrontierParallel(ctx, m, components, messages, start, workers)
 	}
 	store := newStateStore()
 	store.intern(start)
 	table := make([][]rawTransition, 0, 64)
 	hasFinish := false
 	for cursor := 0; cursor < len(store.vecs); cursor++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, false, err
+		}
 		v := store.vecs[cursor]
 		row := make([]rawTransition, 0, len(messages))
 		for _, msg := range messages {
@@ -230,7 +242,7 @@ type appliedEffect struct {
 // merges the shards in ascending state id, interning targets in the same
 // order the serial explorer would. The resulting store and table are
 // identical to the serial ones.
-func exploreFrontierParallel(m Model, components []StateComponent, messages []string, start Vector, workers int) (*stateStore, [][]rawTransition, bool, error) {
+func exploreFrontierParallel(ctx context.Context, m Model, components []StateComponent, messages []string, start Vector, workers int) (*stateStore, [][]rawTransition, bool, error) {
 	store := newStateStore()
 	store.intern(start)
 	table := make([][]rawTransition, 0, 64)
@@ -257,6 +269,14 @@ func exploreFrontierParallel(m Model, components []StateComponent, messages []st
 			go func(a, b int) {
 				defer wg.Done()
 				for id := a; id < b; id++ {
+					if err := ctx.Err(); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
 					v := store.vecs[id]
 					effs := make([]appliedEffect, 0, len(messages))
 					for _, msg := range messages {
@@ -307,11 +327,14 @@ func exploreFrontierParallel(m Model, components []StateComponent, messages []st
 // enumerateAll is the legacy §3.4 steps 1+2: materialise every possible
 // state in row-major order and compute the transitions resulting from each
 // possible message. State ids coincide with enumeration indices.
-func enumerateAll(m Model, components []StateComponent, messages []string, size int) (*stateStore, [][]rawTransition, bool, error) {
+func enumerateAll(ctx context.Context, m Model, components []StateComponent, messages []string, size int) (*stateStore, [][]rawTransition, bool, error) {
 	store := &stateStore{vecs: make([]Vector, size)}
 	table := make([][]rawTransition, size)
 	hasFinish := false
 	for idx := 0; idx < size; idx++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, false, err
+		}
 		v := vectorFromIndex(idx, components)
 		store.vecs[idx] = v
 		row := make([]rawTransition, 0, len(messages))

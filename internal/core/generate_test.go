@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -55,7 +56,7 @@ func (m *toyModel) DescribeState(v Vector) []string {
 }
 
 func TestGenerateToyPipeline(t *testing.T) {
-	machine, err := Generate(&toyModel{max: 3})
+	machine, err := Generate(context.Background(), &toyModel{max: 3})
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
@@ -113,7 +114,7 @@ func TestGenerateToyPipeline(t *testing.T) {
 }
 
 func TestGenerateWithoutPruning(t *testing.T) {
-	machine, err := Generate(&toyModel{max: 3}, WithoutPruning())
+	machine, err := Generate(context.Background(), &toyModel{max: 3}, WithoutPruning())
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
@@ -124,7 +125,7 @@ func TestGenerateWithoutPruning(t *testing.T) {
 }
 
 func TestGenerateWithoutMerging(t *testing.T) {
-	machine, err := Generate(&toyModel{max: 3}, WithoutMerging())
+	machine, err := Generate(context.Background(), &toyModel{max: 3}, WithoutMerging())
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
@@ -168,7 +169,7 @@ func (twinModel) Apply(v Vector, msg string) (Effect, bool) {
 func (twinModel) DescribeState(v Vector) []string { return nil }
 
 func TestMergeCollapsesDeadBit(t *testing.T) {
-	machine, err := Generate(twinModel{})
+	machine, err := Generate(context.Background(), twinModel{})
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
@@ -213,7 +214,7 @@ func (trueTwinModel) Apply(v Vector, msg string) (Effect, bool) {
 func (trueTwinModel) DescribeState(v Vector) []string { return nil }
 
 func TestMergeCollapsesTrueTwins(t *testing.T) {
-	machine, err := Generate(trueTwinModel{})
+	machine, err := Generate(context.Background(), trueTwinModel{})
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
@@ -262,7 +263,7 @@ func TestGenerateRejectsMalformedModels(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			_, err := Generate(tt.model)
+			_, err := Generate(context.Background(), tt.model)
 			if !errors.Is(err, tt.want) {
 				t.Errorf("Generate error = %v, want %v", err, tt.want)
 			}
@@ -270,25 +271,25 @@ func TestGenerateRejectsMalformedModels(t *testing.T) {
 	}
 
 	t.Run("duplicate messages", func(t *testing.T) {
-		_, err := Generate(badModel{components: comps, messages: []string{"m", "m"}, start: Vector{0}, target: Vector{0}})
+		_, err := Generate(context.Background(), badModel{components: comps, messages: []string{"m", "m"}, start: Vector{0}, target: Vector{0}})
 		if err == nil {
 			t.Error("Generate accepted duplicate messages")
 		}
 	})
 	t.Run("empty message name", func(t *testing.T) {
-		_, err := Generate(badModel{components: comps, messages: []string{" "}, start: Vector{0}, target: Vector{0}})
+		_, err := Generate(context.Background(), badModel{components: comps, messages: []string{" "}, start: Vector{0}, target: Vector{0}})
 		if err == nil {
 			t.Error("Generate accepted empty message name")
 		}
 	})
 	t.Run("invalid start", func(t *testing.T) {
-		_, err := Generate(badModel{components: comps, messages: []string{"m"}, start: Vector{5}, target: Vector{0}})
+		_, err := Generate(context.Background(), badModel{components: comps, messages: []string{"m"}, start: Vector{5}, target: Vector{0}})
 		if err == nil {
 			t.Error("Generate accepted out-of-range start state")
 		}
 	})
 	t.Run("invalid target", func(t *testing.T) {
-		_, err := Generate(badModel{components: comps, messages: []string{"m"}, start: Vector{0}, target: Vector{9}})
+		_, err := Generate(context.Background(), badModel{components: comps, messages: []string{"m"}, start: Vector{0}, target: Vector{9}})
 		if err == nil {
 			t.Error("Generate accepted out-of-range transition target")
 		}
@@ -296,11 +297,11 @@ func TestGenerateRejectsMalformedModels(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a, err := Generate(&toyModel{max: 5})
+	a, err := Generate(context.Background(), &toyModel{max: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Generate(&toyModel{max: 5})
+	b, err := Generate(context.Background(), &toyModel{max: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestTransitionCount(t *testing.T) {
-	machine, err := Generate(&toyModel{max: 3})
+	machine, err := Generate(context.Background(), &toyModel{max: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestTransitionCount(t *testing.T) {
 }
 
 func TestStateByNameMissing(t *testing.T) {
-	machine, err := Generate(&toyModel{max: 2})
+	machine, err := Generate(context.Background(), &toyModel{max: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +338,7 @@ func TestStateByNameMissing(t *testing.T) {
 }
 
 func TestSortedMessages(t *testing.T) {
-	machine, err := Generate(&toyModel{max: 2})
+	machine, err := Generate(context.Background(), &toyModel{max: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -102,11 +103,11 @@ func TestFrontierIsomorphicToLegacyPipeline(t *testing.T) {
 				// Merging is disabled on both sides so the comparison sees
 				// the raw explored graphs; merge equivalence is covered by
 				// the worker-identity test and the Table 1 checks.
-				frontier, err := core.Generate(model, core.WithoutDescriptions(), core.WithoutMerging())
+				frontier, err := core.Generate(context.Background(), model, core.WithoutDescriptions(), core.WithoutMerging())
 				if err != nil {
 					t.Fatalf("frontier Generate: %v", err)
 				}
-				legacy, err := core.Generate(model, core.WithoutDescriptions(), core.WithoutMerging(), core.WithoutPruning())
+				legacy, err := core.Generate(context.Background(), model, core.WithoutDescriptions(), core.WithoutMerging(), core.WithoutPruning())
 				if err != nil {
 					t.Fatalf("legacy Generate: %v", err)
 				}
@@ -153,14 +154,14 @@ func TestWorkersIdenticalToSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		serial, err := core.Generate(model)
+		serial, err := core.Generate(context.Background(), model)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want := fullFingerprint(serial)
 		for _, n := range []int{2, 3, 4, 8} {
 			t.Run(fmt.Sprintf("%s/p=%d/workers=%d", name, param, n), func(t *testing.T) {
-				parallel, err := core.Generate(model, core.WithWorkers(n))
+				parallel, err := core.Generate(context.Background(), model, core.WithWorkers(n))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -187,7 +188,7 @@ func TestFrontierFullPipelineMatchesTable1(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			machine, err := core.Generate(model, core.WithoutDescriptions())
+			machine, err := core.Generate(context.Background(), model, core.WithoutDescriptions())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -10,6 +10,7 @@
 package models
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,8 +24,9 @@ import (
 type Builder func(param int) (core.Model, error)
 
 // EFSMBuilder generates the parameter-independent EFSM generalisation
-// (§5.3) from the family member for the given parameter value.
-type EFSMBuilder func(param int) (*core.EFSM, error)
+// (§5.3) from the family member for the given parameter value. The
+// context cancels the underlying machine generation.
+type EFSMBuilder func(ctx context.Context, param int) (*core.EFSM, error)
 
 // Entry describes one registered scenario.
 type Entry struct {
@@ -133,8 +135,10 @@ func init() {
 		DefaultParam: 4,
 		SweepParams:  []int{4, 7, 13, 25, 46},
 		Build:        func(r int) (core.Model, error) { return commit.NewModel(r) },
-		EFSM:         func(r int) (*core.EFSM, error) { return commit.GenerateEFSM(r) },
-		Vocabulary:   VocabularyCommit,
+		EFSM: func(ctx context.Context, r int) (*core.EFSM, error) {
+			return commit.GenerateEFSM(ctx, r)
+		},
+		Vocabulary: VocabularyCommit,
 	})
 	Register(Entry{
 		Name:         "commit-redundant",
@@ -145,8 +149,8 @@ func init() {
 		Build: func(r int) (core.Model, error) {
 			return commit.NewModel(r, commit.WithVariant(commit.RedundantVariant()))
 		},
-		EFSM: func(r int) (*core.EFSM, error) {
-			return commit.GenerateEFSM(r, commit.WithVariant(commit.RedundantVariant()))
+		EFSM: func(ctx context.Context, r int) (*core.EFSM, error) {
+			return commit.GenerateEFSM(ctx, r, commit.WithVariant(commit.RedundantVariant()))
 		},
 		Vocabulary: VocabularyCommit,
 	})

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -51,7 +52,7 @@ func TestBuildDefaultsAndGenerates(t *testing.T) {
 			if model.Parameter() != entry.DefaultParam {
 				t.Errorf("Parameter() = %d, want default %d", model.Parameter(), entry.DefaultParam)
 			}
-			machine, err := core.Generate(model, core.WithoutDescriptions())
+			machine, err := core.Generate(context.Background(), model, core.WithoutDescriptions())
 			if err != nil {
 				t.Fatalf("Generate: %v", err)
 			}
@@ -59,7 +60,7 @@ func TestBuildDefaultsAndGenerates(t *testing.T) {
 				t.Error("generated machine is empty")
 			}
 			if entry.EFSM != nil {
-				efsm, err := entry.EFSM(entry.DefaultParam)
+				efsm, err := entry.EFSM(context.Background(), entry.DefaultParam)
 				if err != nil {
 					t.Fatalf("EFSM: %v", err)
 				}

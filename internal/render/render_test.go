@@ -1,6 +1,7 @@
 package render
 
 import (
+	"context"
 	"go/parser"
 	"go/token"
 	"strings"
@@ -16,7 +17,7 @@ func commitMachine(t *testing.T, r int) *core.StateMachine {
 	if err != nil {
 		t.Fatalf("NewModel(%d): %v", r, err)
 	}
-	machine, err := core.Generate(m)
+	machine, err := core.Generate(context.Background(), m)
 	if err != nil {
 		t.Fatalf("Generate(r=%d): %v", r, err)
 	}
@@ -103,7 +104,7 @@ func TestDotRenderer(t *testing.T) {
 }
 
 func TestDotRendererEFSM(t *testing.T) {
-	efsm, err := commit.GenerateEFSM(7)
+	efsm, err := commit.GenerateEFSM(context.Background(), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestDocRenderer(t *testing.T) {
 }
 
 func TestEFSMTextRenderer(t *testing.T) {
-	efsm, err := commit.GenerateEFSM(13)
+	efsm, err := commit.GenerateEFSM(context.Background(), 13)
 	if err != nil {
 		t.Fatal(err)
 	}

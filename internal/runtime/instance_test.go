@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -38,7 +39,7 @@ func (chainModel) DescribeState(core.Vector) []string { return nil }
 
 func buildChain(t *testing.T) *core.StateMachine {
 	t.Helper()
-	m, err := core.Generate(chainModel{})
+	m, err := core.Generate(context.Background(), chainModel{})
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}

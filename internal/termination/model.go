@@ -12,6 +12,7 @@
 package termination
 
 import (
+	"context"
 	"fmt"
 
 	"asagen/internal/core"
@@ -210,12 +211,12 @@ func (a *Abstraction) Symbol(component, value int) string {
 
 // GenerateEFSM generates the machine for fan-out k and coalesces it into
 // the parameter-independent EFSM.
-func GenerateEFSM(k int) (*core.EFSM, error) {
+func GenerateEFSM(ctx context.Context, k int) (*core.EFSM, error) {
 	m, err := NewModel(k)
 	if err != nil {
 		return nil, err
 	}
-	machine, err := core.Generate(m, core.WithoutDescriptions())
+	machine, err := core.Generate(ctx, m, core.WithoutDescriptions())
 	if err != nil {
 		return nil, fmt.Errorf("termination: generate machine: %w", err)
 	}

@@ -1,6 +1,7 @@
 package termination
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func generate(t *testing.T, k int) *core.StateMachine {
 	if err != nil {
 		t.Fatalf("NewModel(%d): %v", k, err)
 	}
-	machine, err := core.Generate(m)
+	machine, err := core.Generate(context.Background(), m)
 	if err != nil {
 		t.Fatalf("Generate(k=%d): %v", k, err)
 	}
@@ -146,9 +147,9 @@ func TestGuards(t *testing.T) {
 // IDLE_WAITING, FINISHED) regardless of the fan-out bound.
 func TestEFSMIndependentOfK(t *testing.T) {
 	for _, k := range []int{2, 4, 16} {
-		e, err := GenerateEFSM(k)
+		e, err := GenerateEFSM(context.Background(), k)
 		if err != nil {
-			t.Fatalf("GenerateEFSM(%d): %v", k, err)
+			t.Fatalf("GenerateEFSM(context.Background(), %d): %v", k, err)
 		}
 		if len(e.States) != 3 {
 			t.Errorf("k=%d: EFSM has %d states (%v), want 3", k, len(e.States), e.StateNames())
@@ -157,7 +158,7 @@ func TestEFSMIndependentOfK(t *testing.T) {
 }
 
 func TestEFSMLifecycle(t *testing.T) {
-	e, err := GenerateEFSM(3)
+	e, err := GenerateEFSM(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}

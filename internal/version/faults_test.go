@@ -1,6 +1,7 @@
 package version
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -22,7 +23,7 @@ func newLossyStack(t *testing.T, seed int64, drop, dup float64) *testStack {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, err := NewService(net, ring, 4)
+	svc, err := NewService(context.Background(), net, ring, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package version
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -66,8 +67,11 @@ func WithMachineCache(c *core.Cache) ServiceOption {
 }
 
 // NewService generates the peer-set machine for the replication factor and
-// installs an honest member on every overlay node.
-func NewService(net *simnet.Network, ring *chord.Ring, replicationFactor int, opts ...ServiceOption) (*Service, error) {
+// installs an honest member on every overlay node. The context cancels the
+// machine generation: constructing a service for a very large replication
+// factor can be abandoned promptly, and the shared cache (WithMachineCache)
+// is left without a poisoned entry.
+func NewService(ctx context.Context, net *simnet.Network, ring *chord.Ring, replicationFactor int, opts ...ServiceOption) (*Service, error) {
 	s := &Service{
 		net:     net,
 		ring:    ring,
@@ -86,7 +90,7 @@ func NewService(net *simnet.Network, ring *chord.Ring, replicationFactor int, op
 	if err != nil {
 		return nil, err
 	}
-	machine, err := s.cache.MachineFor(model)
+	machine, err := s.cache.MachineFor(ctx, model)
 	if err != nil {
 		return nil, fmt.Errorf("version: generate machine: %w", err)
 	}

@@ -1,6 +1,7 @@
 package version
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -27,7 +28,7 @@ func newStack(t *testing.T, seed int64, nodes, replication int, opts ...ServiceO
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, err := NewService(net, ring, replication, opts...)
+	svc, err := NewService(context.Background(), net, ring, replication, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

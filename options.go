@@ -1,0 +1,134 @@
+package asagen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asagen/internal/core"
+)
+
+// ClientOption configures a Client at construction time.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	jobs       int
+	cacheLimit int
+	genOpts    []GenerateOption
+}
+
+// WithJobs bounds the worker pool used by RenderAll and Stream. Values
+// below 1 select GOMAXPROCS.
+func WithJobs(n int) ClientOption {
+	return func(c *clientConfig) { c.jobs = n }
+}
+
+// WithCacheLimit bounds the number of generated machines the client keeps
+// memoised; least recently used machines are evicted beyond it. Zero (the
+// default) means unbounded. Long-running services should set a limit so an
+// unbounded parameter stream cannot grow memory without bound.
+func WithCacheLimit(n int) ClientOption {
+	return func(c *clientConfig) { c.cacheLimit = n }
+}
+
+// WithGenerateOptions applies generation options to every machine the
+// client generates or renders. Options that change the generated machine
+// are part of the machine's identity, so clients constructed with
+// different options never share cached work.
+func WithGenerateOptions(opts ...GenerateOption) ClientOption {
+	return func(c *clientConfig) { c.genOpts = append(c.genOpts, opts...) }
+}
+
+// GenerateOption configures one Generate call (or, via
+// WithGenerateOptions, every generation a client performs).
+type GenerateOption struct {
+	// key identifies behaviour-changing options so per-call option sets
+	// map onto distinct memoisation caches; empty for request-scoped
+	// options like WithParam.
+	key string
+	// opt is the corresponding core option; nil for request-scoped
+	// options.
+	opt core.Option
+	// param/setParam carry WithParam.
+	param    int
+	setParam bool
+	// fresh marks WithoutCache.
+	fresh bool
+}
+
+// WithParam selects the model parameter (replication factor, process
+// count, fan-out bound — see ModelInfo.ParamName). Values <= 0 select the
+// model's default. Ignored when passed at client level.
+func WithParam(r int) GenerateOption {
+	return GenerateOption{param: r, setParam: true}
+}
+
+// WithoutCache makes the Generate call bypass the client's machine cache:
+// the machine is generated from scratch and not memoised. Intended for
+// benchmarking generation cost.
+func WithoutCache() GenerateOption {
+	return GenerateOption{fresh: true}
+}
+
+// WithoutMerging disables the equivalent-state merging step (§3.4 step 4).
+func WithoutMerging() GenerateOption {
+	return GenerateOption{key: "no-merge", opt: core.WithoutMerging()}
+}
+
+// WithoutPruning selects the legacy full-enumeration pipeline instead of
+// reachability-first exploration; the cross product must fit in an int or
+// Generate fails with ErrStateSpaceOverflow.
+func WithoutPruning() GenerateOption {
+	return GenerateOption{key: "no-prune", opt: core.WithoutPruning()}
+}
+
+// WithSinglePassMerge performs exactly one round of equivalent-state
+// merging instead of iterating to a fixpoint.
+func WithSinglePassMerge() GenerateOption {
+	return GenerateOption{key: "single-pass-merge", opt: core.WithSinglePassMerge()}
+}
+
+// WithoutDescriptions skips attaching per-state documentation, which
+// speeds up generation for large parameter values.
+func WithoutDescriptions() GenerateOption {
+	return GenerateOption{key: "no-descriptions", opt: core.WithoutDescriptions()}
+}
+
+// WithWorkers shards frontier expansion across n goroutines. The generated
+// machine is bit-identical to the serial result, so worker count never
+// fragments the cache key space.
+func WithWorkers(n int) GenerateOption {
+	return GenerateOption{key: fmt.Sprintf("workers=%d", n), opt: core.WithWorkers(n)}
+}
+
+// splitGenerateOptions separates request-scoped parts (param, fresh) from
+// behaviour-changing core options, and derives the stable cache key of the
+// behaviour set.
+func splitGenerateOptions(opts []GenerateOption) (param int, setParam, fresh bool, coreOpts []core.Option, key string) {
+	var keys []string
+	for _, o := range opts {
+		if o.setParam {
+			param, setParam = o.param, true
+		}
+		if o.fresh {
+			fresh = true
+		}
+		if o.opt != nil {
+			coreOpts = append(coreOpts, o.opt)
+			keys = append(keys, o.key)
+		}
+	}
+	sort.Strings(keys)
+	return param, setParam, fresh, coreOpts, strings.Join(keys, ",")
+}
+
+// RenderOption configures one Machine.Render call.
+type RenderOption struct {
+	goPackage string
+}
+
+// WithGoPackage sets the package clause of the "go" format's generated
+// source. Empty (the default) derives the name from the machine.
+func WithGoPackage(name string) RenderOption {
+	return RenderOption{goPackage: name}
+}
