@@ -25,6 +25,7 @@ import (
 	"asagen/internal/commit/commitfsm4"
 	"asagen/internal/consensus"
 	"asagen/internal/core"
+	"asagen/internal/models"
 	"asagen/internal/render"
 	"asagen/internal/runtime"
 	"asagen/internal/simnet"
@@ -228,6 +229,47 @@ func BenchmarkGenerateEFSM(b *testing.B) {
 			}
 		}
 	})
+	b.Run("chord/s=8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := chord.GenerateEFSM(context.Background(), 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("storage/r=13", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := storage.GenerateEFSM(context.Background(), 13); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGenerateScenarios measures machine generation for every
+// registered scenario at its default parameter — the per-model cost the
+// serve path pays on a cache miss. State counts are asserted non-empty so
+// a silently degenerate model cannot hide in the timing table.
+func BenchmarkGenerateScenarios(b *testing.B) {
+	for _, name := range models.Names() {
+		b.Run(name, func(b *testing.B) {
+			model, err := models.Build(name, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var machine *core.StateMachine
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				machine, err = core.Generate(context.Background(), model, core.WithoutDescriptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if machine.Stats.FinalStates == 0 {
+				b.Fatal("empty machine")
+			}
+			b.ReportMetric(float64(machine.Stats.FinalStates), "final-states")
+		})
+	}
 }
 
 // commitRoundMessages is one uncontended commit round at a member that

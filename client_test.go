@@ -308,8 +308,8 @@ func TestClientRenderAllAndStream(t *testing.T) {
 	}
 
 	// One generation per distinct model despite many formats and passes.
-	if st := client.Stats(); st.Generations != 4 {
-		t.Errorf("generations = %d, want one per registered built-in model", st.Generations)
+	if st, want := client.Stats(), len(client.Models()); int(st.Generations) != want {
+		t.Errorf("generations = %d, want one per registered built-in model (%d)", st.Generations, want)
 	}
 }
 
@@ -436,5 +436,113 @@ func TestInstanceExecution(t *testing.T) {
 	}
 	if inst.StateName() != machine.StartState() {
 		t.Errorf("reset state %q != start %q", inst.StateName(), machine.StartState())
+	}
+}
+
+// TestScenarioModelsFirstClass pins the scenario expansion: the registry
+// serves at least six models, the chord and storage scenarios generate
+// through the facade with parameterized redundancy, expose their fault
+// tolerance, render in every registered format, and execute through the
+// interpreter.
+func TestScenarioModelsFirstClass(t *testing.T) {
+	client := asagen.NewClient()
+	ctx := context.Background()
+
+	infos := client.Models()
+	if len(infos) < 6 {
+		t.Fatalf("Models() lists %d scenarios, want >= 6", len(infos))
+	}
+	names := map[string]asagen.ModelInfo{}
+	for _, m := range infos {
+		names[m.Name] = m
+	}
+	for _, want := range []string{"chord", "storage"} {
+		if _, ok := names[want]; !ok {
+			t.Fatalf("Models() missing %q (got %v)", want, infos)
+		}
+		if !names[want].HasEFSM {
+			t.Errorf("model %q declares no EFSM generalisation", want)
+		}
+	}
+
+	// Redundancy parameter → fault tolerance, per scenario semantics.
+	cases := []struct {
+		model string
+		param int
+		wantF int
+	}{
+		{"chord", 4, 3}, // successor-list length s tolerates s-1 failures
+		{"chord", 8, 7},
+		{"storage", 4, 1}, // replication factor r tolerates f = (r-1)/3
+		{"storage", 13, 4},
+	}
+	for _, c := range cases {
+		machine, err := client.Generate(ctx, c.model, asagen.WithParam(c.param))
+		if err != nil {
+			t.Fatalf("Generate(%s, %d): %v", c.model, c.param, err)
+		}
+		f, ok := machine.FaultTolerance()
+		if !ok || f != c.wantF {
+			t.Errorf("%s r=%d: FaultTolerance() = %d,%v, want %d", c.model, c.param, f, ok, c.wantF)
+		}
+		if st := machine.Stats(); st.FinalStates == 0 || st.Transitions == 0 {
+			t.Errorf("%s r=%d: empty machine (%+v)", c.model, c.param, st)
+		}
+	}
+
+	// Every registered format renders both scenarios, deterministically.
+	for _, model := range []string{"chord", "storage"} {
+		for _, format := range client.Formats() {
+			first, err := client.Render(ctx, asagen.Request{Model: model, Format: format})
+			if err != nil {
+				t.Fatalf("Render(%s, %s): %v", model, format, err)
+			}
+			if len(first.Data) == 0 || first.ContentHash == "" {
+				t.Fatalf("Render(%s, %s): empty artefact", model, format)
+			}
+			again, err := asagen.NewClient().Render(ctx, asagen.Request{Model: model, Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.ContentHash != first.ContentHash {
+				t.Errorf("Render(%s, %s) not byte-stable across clients", model, format)
+			}
+		}
+	}
+
+	// The generated machines execute through the interpreter: one chord
+	// join/stabilize/leave lifecycle, one storage store/fetch round trip.
+	chordMachine, err := client.Generate(ctx, "chord", asagen.WithParam(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := chordMachine.NewInstance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range []string{"JOIN", "STABILIZE", "NOTIFY", "SUCC_FAIL", "LEAVE"} {
+		if _, err := inst.Deliver(msg); err != nil {
+			t.Fatalf("chord deliver %s: %v", msg, err)
+		}
+	}
+	if !inst.Finished() {
+		t.Error("chord lifecycle did not finish")
+	}
+
+	storageMachine, err := client.Generate(ctx, "storage", asagen.WithParam(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err = storageMachine.NewInstance(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range []string{"STORE", "STORE_ACK", "STORE_ACK", "STORE_ACK", "FETCH", "FETCH_MISS", "FETCH_OK"} {
+		if _, err := inst.Deliver(msg); err != nil {
+			t.Fatalf("storage deliver %s: %v", msg, err)
+		}
+	}
+	if !inst.Finished() {
+		t.Error("storage round trip did not finish")
 	}
 }

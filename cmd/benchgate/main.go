@@ -1,0 +1,227 @@
+// Command benchgate converts `go test -bench` output into a stable JSON
+// benchmark inventory and gates CI on ns/op regressions against a
+// checked-in baseline.
+//
+// Parse mode reads the plain benchmark output (package headers included)
+// and writes one JSON record per benchmark, name-sorted so the file is
+// byte-stable for equal inputs. Repeated results for one benchmark (from
+// -count=N) are merged by taking the minimum ns/op — the noise-robust
+// estimator, since timing noise only ever adds time:
+//
+//	go test -bench=. -benchtime=3x -count=5 -run='^$' ./... | tee bench.txt
+//	benchgate -parse bench.txt -o BENCH_current.json
+//
+// Compare mode fails (exit 1) when any benchmark present in both files
+// regressed in ns/op by more than the threshold percentage:
+//
+//	benchgate -baseline BENCH_baseline.json -current BENCH_current.json -max-regression 25
+//
+// Benchmarks present on only one side are reported informationally and
+// never fail the gate, so adding or retiring a benchmark does not require
+// touching the baseline in the same change. Benchmarks faster than
+// -min-ns on both sides are likewise informational: at -benchtime=3x a
+// sub-microsecond benchmark measures three iterations against the timer
+// quantum, which is quantization noise, not signal.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	// Name is the package-qualified benchmark name with the GOMAXPROCS
+	// suffix stripped, e.g. "asagen/internal/core:BenchmarkGenerate/r=4".
+	Name string `json:"name"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the reported allocs/op; -1 when the benchmark does
+	// not report allocations.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+var (
+	// benchLine matches one result line:
+	//   BenchmarkName-8   3   123456 ns/op   456 B/op   7 allocs/op
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op(.*)$`)
+	pkgLine   = regexp.MustCompile(`^pkg:\s+(\S+)$`)
+	allocsRe  = regexp.MustCompile(`([0-9]+) allocs/op`)
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		parse     = fs.String("parse", "", "benchmark output file to parse into JSON")
+		out       = fs.String("o", "BENCH_current.json", "JSON output path for -parse")
+		baseline  = fs.String("baseline", "", "baseline JSON for -compare mode")
+		current   = fs.String("current", "", "current JSON for -compare mode")
+		threshold = fs.Float64("max-regression", 25, "maximum tolerated ns/op regression, percent")
+		minNs     = fs.Float64("min-ns", 10000, "noise floor: benchmarks under this ns/op on both sides never gate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *parse != "":
+		return runParse(*parse, *out)
+	case *baseline != "" && *current != "":
+		return runCompare(*baseline, *current, *threshold, *minNs, stdout)
+	default:
+		return fmt.Errorf("nothing to do: pass -parse FILE, or -baseline FILE -current FILE")
+	}
+}
+
+func runParse(inPath, outPath string) error {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	benches, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("%s contains no benchmark results", inPath)
+	}
+	data, err := json.MarshalIndent(benches, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}
+
+// parseBench extracts the benchmark results from `go test -bench` output,
+// qualifying names with the pkg: header lines so equally named benchmarks
+// in different packages stay distinct. Repeated results for one name keep
+// the minimum ns/op (and its allocs/op).
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	byName := map[string]Benchmark{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if m := pkgLine.FindStringSubmatch(line); m != nil {
+			pkg = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		allocs := int64(-1)
+		if am := allocsRe.FindStringSubmatch(m[3]); am != nil {
+			if allocs, err = strconv.ParseInt(am[1], 10, 64); err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %v", line, err)
+			}
+		}
+		name := m[1]
+		if pkg != "" {
+			name = pkg + ":" + name
+		}
+		if prev, ok := byName[name]; !ok || ns < prev.NsPerOp {
+			byName[name] = Benchmark{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	benches := make([]Benchmark, 0, len(byName))
+	for _, b := range byName {
+		benches = append(benches, b)
+	}
+	sort.Slice(benches, func(i, j int) bool { return benches[i].Name < benches[j].Name })
+	return benches, nil
+}
+
+func loadJSON(path string) (map[string]Benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var benches []Benchmark
+	if err := json.Unmarshal(data, &benches); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	byName := make(map[string]Benchmark, len(benches))
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	return byName, nil
+}
+
+func runCompare(basePath, curPath string, threshold, minNs float64, stdout io.Writer) error {
+	base, err := loadJSON(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadJSON(curPath)
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("%s is empty", curPath)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	compared := 0
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			fmt.Fprintf(stdout, "new       %s (%.0f ns/op, no baseline)\n", name, cur[name].NsPerOp)
+			continue
+		}
+		c := cur[name]
+		delta := 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		if b.NsPerOp < minNs && c.NsPerOp < minNs {
+			fmt.Fprintf(stdout, "floor     %s %.0f -> %.0f ns/op (%+.1f%%, under %.0f ns noise floor)\n",
+				name, b.NsPerOp, c.NsPerOp, delta, minNs)
+			continue
+		}
+		compared++
+		status := "ok"
+		if delta > threshold {
+			status = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, limit +%.0f%%)", name, b.NsPerOp, c.NsPerOp, delta, threshold))
+		}
+		fmt.Fprintf(stdout, "%-9s %s %.0f -> %.0f ns/op (%+.1f%%)\n", status, name, b.NsPerOp, c.NsPerOp, delta)
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			fmt.Fprintf(stdout, "retired   %s (in baseline only)\n", name)
+		}
+	}
+	fmt.Fprintf(stdout, "compared %d benchmarks against %s, %d regression(s)\n", compared, basePath, len(regressions))
+	if len(regressions) > 0 {
+		return fmt.Errorf("ns/op regression beyond %.0f%%:\n  %s", threshold, strings.Join(regressions, "\n  "))
+	}
+	return nil
+}

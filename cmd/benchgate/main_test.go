@@ -1,0 +1,178 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: asagen
+cpu: Example CPU
+BenchmarkRenderText-8   	     100	     12345 ns/op	    2048 B/op	      30 allocs/op
+BenchmarkRenderAll/cold-8         	       3	   9876543 ns/op
+pkg: asagen/internal/core
+BenchmarkCacheHitMiss/hit-8       	 1000000	      1234.5 ns/op	       0 B/op	       0 allocs/op
+ok  	asagen/internal/core	1.234s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(benches), benches)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	text, ok := byName["asagen:BenchmarkRenderText"]
+	if !ok {
+		t.Fatalf("package-qualified name missing: %+v", benches)
+	}
+	if text.NsPerOp != 12345 || text.AllocsPerOp != 30 {
+		t.Errorf("RenderText = %+v", text)
+	}
+	cold := byName["asagen:BenchmarkRenderAll/cold"]
+	if cold.NsPerOp != 9876543 || cold.AllocsPerOp != -1 {
+		t.Errorf("RenderAll/cold = %+v (allocs must be -1 when unreported)", cold)
+	}
+	hit := byName["asagen/internal/core:BenchmarkCacheHitMiss/hit"]
+	if hit.NsPerOp != 1234.5 || hit.AllocsPerOp != 0 {
+		t.Errorf("CacheHitMiss/hit = %+v", hit)
+	}
+	// Name-sorted for byte-stable output.
+	for i := 1; i < len(benches); i++ {
+		if benches[i-1].Name >= benches[i].Name {
+			t.Errorf("output not name-sorted: %q before %q", benches[i-1].Name, benches[i].Name)
+		}
+	}
+}
+
+func writeJSON(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseMergesRepeatedRunsByMinimum(t *testing.T) {
+	repeated := `pkg: asagen
+BenchmarkX-8   10   900 ns/op   5 allocs/op
+BenchmarkX-8   10   1500 ns/op   9 allocs/op
+BenchmarkX-8   10   1100 ns/op   5 allocs/op
+`
+	benches, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 1 {
+		t.Fatalf("parsed %d records for one repeated benchmark, want 1", len(benches))
+	}
+	if benches[0].NsPerOp != 900 || benches[0].AllocsPerOp != 5 {
+		t.Errorf("merged record = %+v, want the 900 ns/op minimum", benches[0])
+	}
+}
+
+func TestParseModeWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	in := writeJSON(t, dir, "bench.txt", sampleOutput)
+	out := filepath.Join(dir, "current.json")
+	var sb strings.Builder
+	if err := run([]string{"-parse", in, "-o", out}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"asagen:BenchmarkRenderText"`, `"ns_per_op": 12345`, `"allocs_per_op": -1`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+}
+
+func TestParseModeRejectsEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	in := writeJSON(t, dir, "bench.txt", "no benchmarks here\n")
+	var sb strings.Builder
+	if err := run([]string{"-parse", in, "-o", filepath.Join(dir, "out.json")}, &sb); err == nil {
+		t.Fatal("empty benchmark output accepted")
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json",
+		`[{"name":"a:BenchmarkX","ns_per_op":100000,"allocs_per_op":1},
+		  {"name":"a:BenchmarkRetired","ns_per_op":5,"allocs_per_op":0}]`)
+	cur := writeJSON(t, dir, "cur.json",
+		`[{"name":"a:BenchmarkX","ns_per_op":120000,"allocs_per_op":1},
+		  {"name":"a:BenchmarkNew","ns_per_op":7,"allocs_per_op":0}]`)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base, "-current", cur, "-max-regression", "25"}, &sb); err != nil {
+		t.Fatalf("+20%% failed a 25%% gate: %v\n%s", err, sb.String())
+	}
+	for _, want := range []string{"ok", "new", "retired", "1 benchmarks"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `[{"name":"a:BenchmarkX","ns_per_op":100000,"allocs_per_op":1}]`)
+	cur := writeJSON(t, dir, "cur.json", `[{"name":"a:BenchmarkX","ns_per_op":130000,"allocs_per_op":1}]`)
+	var sb strings.Builder
+	err := run([]string{"-baseline", base, "-current", cur, "-max-regression", "25"}, &sb)
+	if err == nil {
+		t.Fatalf("+30%% passed a 25%% gate:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkX") || !strings.Contains(err.Error(), "+30.0%") {
+		t.Errorf("regression error %q does not name the benchmark and delta", err)
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	dir := t.TempDir()
+	// A 60 ns benchmark tripling is timer quantization at -benchtime=3x,
+	// not a regression; the same ratio above the floor must still fail.
+	base := writeJSON(t, dir, "base.json",
+		`[{"name":"a:BenchmarkTiny","ns_per_op":60,"allocs_per_op":0},
+		  {"name":"a:BenchmarkBig","ns_per_op":50000,"allocs_per_op":0}]`)
+	okCur := writeJSON(t, dir, "ok.json",
+		`[{"name":"a:BenchmarkTiny","ns_per_op":180,"allocs_per_op":0},
+		  {"name":"a:BenchmarkBig","ns_per_op":51000,"allocs_per_op":0}]`)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base, "-current", okCur}, &sb); err != nil {
+		t.Fatalf("sub-floor jitter failed the gate: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "floor") {
+		t.Errorf("report does not mark the sub-floor benchmark:\n%s", sb.String())
+	}
+	badCur := writeJSON(t, dir, "bad.json", `[{"name":"a:BenchmarkBig","ns_per_op":150000,"allocs_per_op":0}]`)
+	sb.Reset()
+	if err := run([]string{"-baseline", base, "-current", badCur}, &sb); err == nil {
+		t.Fatal("above-floor regression passed the gate")
+	}
+}
+
+func TestCompareToleratesImprovementAndIgnoresNewBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `[{"name":"a:BenchmarkX","ns_per_op":100000,"allocs_per_op":1}]`)
+	cur := writeJSON(t, dir, "cur.json",
+		`[{"name":"a:BenchmarkX","ns_per_op":20000,"allocs_per_op":1},
+		  {"name":"a:BenchmarkY","ns_per_op":999999,"allocs_per_op":1}]`)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base, "-current", cur}, &sb); err != nil {
+		t.Fatalf("improvement + new benchmark failed the gate: %v", err)
+	}
+}

@@ -12,9 +12,9 @@
 // The command is a thin shell over the public asagen SDK: model and
 // format names resolve through the client's registries, and all
 // generation and rendering is memoised by the client. The -model flag
-// selects the scenario (commit, commit-redundant, consensus,
-// termination); -r is the model parameter (replication factor, process
-// count, or fan-out bound).
+// selects the scenario (commit, commit-redundant, consensus, termination,
+// chord, storage); -r is the model parameter (replication factor, process
+// count, fan-out bound, or successor-list length).
 //
 // With -all the command renders the full registry cross product — every
 // registered model in every registered format — concurrently into an

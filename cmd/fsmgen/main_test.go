@@ -63,7 +63,7 @@ func TestUnknownNameErrorsListRegistries(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown model accepted")
 	}
-	for _, want := range []string{"commit", "commit-redundant", "consensus", "termination"} {
+	for _, want := range []string{"chord", "commit", "commit-redundant", "consensus", "storage", "termination"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("unknown-model error %q missing %q", err, want)
 		}
@@ -134,12 +134,12 @@ func TestRunAllMatchesPerFormatInvocations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 models × 5 machine formats + 4 EFSM-capable models × 2 EFSM formats.
-	if len(entries) != 28 {
-		t.Fatalf("-all wrote %d files, want 28", len(entries))
+	// 6 models × 5 machine formats + 6 EFSM-capable models × 2 EFSM formats.
+	if len(entries) != 42 {
+		t.Fatalf("-all wrote %d files, want 42", len(entries))
 	}
-	if got := strings.Count(manifest.String(), "wrote "); got != 28 {
-		t.Errorf("manifest lists %d files, want 28", got)
+	if got := strings.Count(manifest.String(), "wrote "); got != 42 {
+		t.Errorf("manifest lists %d files, want 42", got)
 	}
 
 	perFormat := func(args ...string) string {
@@ -159,6 +159,10 @@ func TestRunAllMatchesPerFormatInvocations(t *testing.T) {
 		{"termination-r4.xml.", []string{"-model", "termination", "-format", "xml"}},
 		{"commit-redundant-r4.doc.", []string{"-model", "commit-redundant", "-format", "doc"}},
 		{"commit-r4.efsm.", []string{"-model", "commit", "-format", "efsm"}},
+		{"chord-r4.text.", []string{"-model", "chord", "-format", "text"}},
+		{"chord-r4.efsm-dot.", []string{"-model", "chord", "-format", "efsm-dot"}},
+		{"storage-r4.go.", []string{"-model", "storage", "-format", "go"}},
+		{"storage-r4.efsm.", []string{"-model", "storage", "-format", "efsm"}},
 	}
 	for _, c := range comparisons {
 		var path string

@@ -142,9 +142,30 @@ func TestV1ModelEndpoints(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("models status = %d", resp.StatusCode)
 	}
-	for _, want := range []string{"commit", "consensus", "termination", "replication factor", "sweep_params"} {
+	for _, want := range []string{"chord", "commit", "consensus", "storage", "termination",
+		"replication factor", "successor-list length", "sweep_params"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/v1/models missing %q", want)
+		}
+	}
+	var listed []modelInfo
+	if err := json.Unmarshal([]byte(body), &listed); err != nil {
+		t.Fatalf("models JSON: %v", err)
+	}
+	if len(listed) < 6 {
+		t.Errorf("/v1/models lists %d models, want >= 6", len(listed))
+	}
+
+	// The scenario models serve artefacts with parameterized redundancy.
+	for _, path := range []string{
+		"/v1/models/chord/artifacts/text?r=3",
+		"/v1/models/chord/artifacts/efsm",
+		"/v1/models/storage/artifacts/dot?r=7",
+		"/v1/models/storage/artifacts/efsm-dot",
+	} {
+		resp, body := get(t, ts, path, nil)
+		if resp.StatusCode != http.StatusOK || body == "" {
+			t.Errorf("GET %s = %d (%d bytes), want 200 with content", path, resp.StatusCode, len(body))
 		}
 	}
 

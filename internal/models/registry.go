@@ -13,10 +13,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
+	"asagen/internal/chord"
 	"asagen/internal/commit"
 	"asagen/internal/consensus"
 	"asagen/internal/core"
+	"asagen/internal/storage"
 	"asagen/internal/termination"
 )
 
@@ -66,19 +69,29 @@ func (e Entry) Model(param int) (core.Model, error) {
 	return e.Build(param)
 }
 
-var registry = map[string]Entry{}
+// registryMu guards registry: entries are normally registered at package
+// initialisation, but tests (and future plugins) may Register while
+// concurrent pipeline workers resolve names, so reads and writes must
+// synchronise.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Entry{}
+)
 
 // Register adds an entry to the registry. It panics on a duplicate or empty
-// name, which indicates a programming error at package initialisation.
+// name, which indicates a programming error at package initialisation. It
+// is safe for concurrent use with the lookup functions.
 func Register(e Entry) {
 	if e.Name == "" {
 		panic("models: register entry with empty name")
 	}
-	if _, dup := registry[e.Name]; dup {
-		panic(fmt.Sprintf("models: duplicate registration of %q", e.Name))
-	}
 	if e.Build == nil {
 		panic(fmt.Sprintf("models: entry %q has no builder", e.Name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[e.Name]; dup {
+		panic(fmt.Sprintf("models: duplicate registration of %q", e.Name))
 	}
 	registry[e.Name] = e
 }
@@ -86,7 +99,9 @@ func Register(e Entry) {
 // Get returns the entry registered under name. The error lists the known
 // names so command-line mistakes are self-explanatory.
 func Get(name string) (Entry, error) {
+	registryMu.RLock()
 	e, ok := registry[name]
+	registryMu.RUnlock()
 	if !ok {
 		return Entry{}, fmt.Errorf("models: unknown model %q (known: %v)", name, Names())
 	}
@@ -95,10 +110,12 @@ func Get(name string) (Entry, error) {
 
 // Names returns all registered names, sorted.
 func Names() []string {
+	registryMu.RLock()
 	names := make([]string, 0, len(registry))
 	for name := range registry {
 		names = append(names, name)
 	}
+	registryMu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -107,12 +124,14 @@ func Names() []string {
 // the given vocabulary, so commands can present — and validate against —
 // exactly the subset a runtime layer can execute.
 func NamesWithVocabulary(vocabulary string) []string {
+	registryMu.RLock()
 	var names []string
 	for name, e := range registry {
 		if e.Vocabulary == vocabulary {
 			names = append(names, name)
 		}
 	}
+	registryMu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -162,6 +181,24 @@ func init() {
 		SweepParams:  []int{3, 5, 7, 9},
 		Build:        func(n int) (core.Model, error) { return consensus.NewModel(n) },
 		EFSM:         consensus.GenerateEFSM,
+	})
+	Register(Entry{
+		Name:         "chord",
+		Description:  "Chord ring-membership lifecycle (successor-list redundancy)",
+		ParamName:    "successor-list length",
+		DefaultParam: 4,
+		SweepParams:  []int{2, 3, 4, 8},
+		Build:        func(s int) (core.Model, error) { return chord.NewModel(s) },
+		EFSM:         chord.GenerateEFSM,
+	})
+	Register(Entry{
+		Name:         "storage",
+		Description:  "Replicated block-store endpoint protocol (quorum store + verified retrieve)",
+		ParamName:    "replication factor",
+		DefaultParam: 4,
+		SweepParams:  []int{4, 7, 13, 25},
+		Build:        func(r int) (core.Model, error) { return storage.NewModel(r) },
+		EFSM:         storage.GenerateEFSM,
 	})
 	Register(Entry{
 		Name:         "termination",

@@ -2,14 +2,17 @@ package models
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"asagen/internal/core"
+	"asagen/internal/termination"
 )
 
 func TestNamesCoversAllScenarios(t *testing.T) {
-	want := []string{"commit", "commit-redundant", "consensus", "termination"}
+	want := []string{"chord", "commit", "commit-redundant", "consensus", "storage", "termination"}
 	got := Names()
 	if len(got) < len(want) {
 		t.Fatalf("Names() = %v, want at least %v", got, want)
@@ -128,5 +131,38 @@ func TestVariantFingerprintsDiffer(t *testing.T) {
 	}
 	if core.FingerprintModel(strict) != core.FingerprintModel(strict) {
 		t.Error("fingerprint not deterministic")
+	}
+}
+
+// TestRegistryConcurrentAccess locks in the registry's thread-safety:
+// Register may run (e.g. from a test or a future plugin) while pipeline
+// workers resolve names concurrently.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	// The name is unique per run so `-count=N` re-registrations never
+	// collide, and the entry is a real generatable model so
+	// registry-iterating tests stay healthy whatever order tests run in.
+	name := fmt.Sprintf("concurrent-probe-%d", time.Now().UnixNano())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Register(Entry{
+			Name:         name,
+			Description:  "registry thread-safety probe",
+			ParamName:    "fan-out bound",
+			DefaultParam: 1,
+			SweepParams:  []int{1, 2},
+			Build:        func(k int) (core.Model, error) { return termination.NewModel(k) },
+		})
+	}()
+	for i := 0; i < 100; i++ {
+		if _, err := Get("commit"); err != nil {
+			t.Fatal(err)
+		}
+		Names()
+		NamesWithVocabulary(VocabularyCommit)
+	}
+	<-done
+	if _, err := Get(name); err != nil {
+		t.Errorf("concurrently registered entry not visible: %v", err)
 	}
 }

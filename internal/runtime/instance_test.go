@@ -5,7 +5,9 @@ import (
 	"errors"
 	"testing"
 
+	"asagen/internal/commit"
 	"asagen/internal/core"
+	"asagen/internal/storage"
 )
 
 // chainModel is a three-state machine: 0 -inc-> 1 -inc-> 2 -inc-> FINISHED,
@@ -162,5 +164,127 @@ func TestMachineAccessor(t *testing.T) {
 	}
 	if inst.State() != machine.Start {
 		t.Error("State() is not the start state")
+	}
+}
+
+// The remaining tests drive real generated scenario machines (not the
+// synthetic chain) through the interpreter's error paths: unknown events,
+// guard rejections, and fault-tolerance exhaustion — the cases a
+// peer-set member hits when the network delivers more faults than the
+// redundancy parameter covers.
+
+func generateModel(t *testing.T, m core.Model) *core.StateMachine {
+	t.Helper()
+	machine, err := core.Generate(context.Background(), m, core.WithoutDescriptions())
+	if err != nil {
+		t.Fatalf("Generate(%s): %v", m.Name(), err)
+	}
+	return machine
+}
+
+func TestInstanceUnknownEventOnGeneratedMachine(t *testing.T) {
+	model, err := storage.NewModel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := New(generateModel(t, model), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ignored *IgnoredError
+	if _, err := inst.Deliver("NO_SUCH_EVENT"); !errors.As(err, &ignored) {
+		t.Fatalf("Deliver(NO_SUCH_EVENT) = %v, want IgnoredError", err)
+	}
+	if ignored.Message != "NO_SUCH_EVENT" || ignored.StateName != inst.StateName() {
+		t.Errorf("IgnoredError = %+v", ignored)
+	}
+}
+
+func TestInstanceGuardRejection(t *testing.T) {
+	model, err := storage.NewModel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := New(generateModel(t, model), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fetch before the block is durable is guarded out, state unchanged.
+	start := inst.StateName()
+	var ignored *IgnoredError
+	if _, err := inst.Deliver(storage.EvFetch); !errors.As(err, &ignored) {
+		t.Fatalf("premature FETCH = %v, want IgnoredError", err)
+	}
+	if inst.StateName() != start {
+		t.Error("rejected event changed state")
+	}
+	// An acknowledgement with no store in flight is likewise rejected.
+	if _, err := inst.Deliver(storage.EvStoreAck); !errors.As(err, &ignored) {
+		t.Fatalf("unsolicited STORE_ACK = %v, want IgnoredError", err)
+	}
+
+	// Counter saturation on the commit protocol: at r=4 only r−1 = 3 peer
+	// votes exist, so a fourth vote is rejected by the generated guards.
+	commitModel, err := commit.NewModel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err = New(generateModel(t, commitModel), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := inst.Deliver(commit.MsgVote); err != nil {
+			t.Fatalf("vote %d: %v", i+1, err)
+		}
+	}
+	if _, err := inst.Deliver(commit.MsgVote); !errors.As(err, &ignored) {
+		t.Fatalf("vote 4 of 3 = %v, want IgnoredError", err)
+	}
+}
+
+func TestInstanceFaultToleranceExhaustion(t *testing.T) {
+	model, err := storage.NewModel(7) // f = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := New(generateModel(t, model), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Deliver(storage.EvStore); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < model.StoreQuorum(); i++ {
+		if _, err := inst.Deliver(storage.EvStoreAck); err != nil {
+			t.Fatalf("ack %d: %v", i+1, err)
+		}
+	}
+	// The quorum discards the pending ack set: a late ack is rejected.
+	var ignored *IgnoredError
+	if _, err := inst.Deliver(storage.EvStoreAck); !errors.As(err, &ignored) {
+		t.Fatalf("post-quorum ack = %v, want IgnoredError", err)
+	}
+	if _, err := inst.Deliver(storage.EvFetch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < model.FaultTolerance(); i++ {
+		if _, err := inst.Deliver(storage.EvFetchMiss); err != nil {
+			t.Fatalf("tolerated miss %d: %v", i+1, err)
+		}
+	}
+	// The f+1-th miss exceeds the redundancy parameter: rejected, and the
+	// machine still completes on the verified reply.
+	if _, err := inst.Deliver(storage.EvFetchMiss); !errors.As(err, &ignored) {
+		t.Fatalf("miss %d with f=%d = %v, want IgnoredError", model.FaultTolerance()+1, model.FaultTolerance(), err)
+	}
+	if _, err := inst.Deliver(storage.EvFetchOK); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Finished() {
+		t.Error("machine not finished after the verified reply")
+	}
+	if _, err := inst.Deliver(storage.EvFetchOK); !errors.Is(err, ErrFinished) {
+		t.Errorf("delivery after finish = %v, want ErrFinished", err)
 	}
 }
