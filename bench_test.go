@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"testing"
 
+	"asagen"
 	"asagen/internal/artifact"
 	"asagen/internal/chord"
 	"asagen/internal/commit"
@@ -591,4 +592,60 @@ func BenchmarkCacheHitMiss(b *testing.B) {
 			b.Fatalf("generations = %d, want 1", st.Generations)
 		}
 	})
+}
+
+// BenchmarkSpecCompile measures the declarative authoring layer: decoding
+// and validating the termination-port spec from its JSON wire form (the
+// POST /v1/models hot path) and re-compiling the builder form.
+func BenchmarkSpecCompile(b *testing.B) {
+	data, err := terminationSpec("termination-spec").JSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp, err := asagen.ParseModelSpec(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sp.Compile(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("builder", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := terminationSpec("termination-spec").Compile(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGenerateSpecModel compares machine generation through a
+// compiled declarative spec against the hand-written adapter it ports, on
+// the uncached path — the rule-interpretation overhead of the authoring
+// layer.
+func BenchmarkGenerateSpecModel(b *testing.B) {
+	client := asagen.NewClient(asagen.WithIsolatedRegistry())
+	if err := client.RegisterModel(terminationSpec("termination-spec")); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, bench := range []struct{ name, model string }{
+		{"spec/k=8", "termination-spec"},
+		{"adapter/k=8", "termination"},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Generate(ctx, bench.model,
+					asagen.WithParam(8), asagen.WithoutCache()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -3,6 +3,7 @@ package asagen
 import (
 	"context"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"iter"
 	"sync"
@@ -107,13 +108,26 @@ type Stats struct {
 // concurrent use.
 type Client struct {
 	pipeline   *artifact.Pipeline
+	reg        *models.Registry
 	genOpts    []core.Option
 	cacheLimit int
 
 	// mu guards caches, the per-behaviour-option-set generation caches
-	// used by Generate calls that override the client's options.
-	mu     sync.Mutex
-	caches map[string]*core.Cache
+	// used by Generate calls that override the client's options, and
+	// modelFPs, the fingerprints Generate produced per model name (used
+	// to purge caches when a model is unregistered).
+	mu       sync.Mutex
+	caches   map[string]*core.Cache
+	modelFPs map[string]map[clientFP]struct{}
+}
+
+// clientFP names one generation the client performed in a
+// per-behaviour-option cache: the option-set key and the machine
+// fingerprint. Generations in the pipeline's shared cache are tracked by
+// the pipeline itself.
+type clientFP struct {
+	key string
+	fp  core.Fingerprint
 }
 
 // NewClient returns a client with the given options.
@@ -122,25 +136,32 @@ func NewClient(opts ...ClientOption) *Client {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	reg := models.Default()
+	if cfg.isolated {
+		reg = reg.Clone()
+	}
 	_, _, _, coreOpts, _ := splitGenerateOptions(cfg.genOpts)
 	p := artifact.New(
 		artifact.WithJobs(cfg.jobs),
 		artifact.WithGenerateOptions(coreOpts...),
+		artifact.WithRegistry(reg),
 	)
 	if cfg.cacheLimit > 0 {
 		p.Cache().SetLimit(cfg.cacheLimit)
 	}
 	return &Client{
 		pipeline:   p,
+		reg:        reg,
 		genOpts:    coreOpts,
 		cacheLimit: cfg.cacheLimit,
 		caches:     make(map[string]*core.Cache),
+		modelFPs:   make(map[string]map[clientFP]struct{}),
 	}
 }
 
 // Models returns the registered scenarios, sorted by name.
 func (c *Client) Models() []ModelInfo {
-	names := models.Names()
+	names := c.reg.Names()
 	out := make([]ModelInfo, 0, len(names))
 	for _, name := range names {
 		info, err := c.Model(name)
@@ -155,7 +176,7 @@ func (c *Client) Models() []ModelInfo {
 // Model returns the description of one registered scenario, or
 // ErrUnknownModel.
 func (c *Client) Model(name string) (ModelInfo, error) {
-	e, err := models.Get(name)
+	e, err := c.reg.Get(name)
 	if err != nil {
 		return ModelInfo{}, wrapSentinel(ErrUnknownModel, err)
 	}
@@ -185,7 +206,7 @@ func (c *Client) IsEFSMFormat(name string) bool { return render.IsEFSMFormat(nam
 // models pay the generation cost once. Cancelling ctx aborts the
 // generation promptly with ctx.Err() and leaves no cache entry.
 func (c *Client) Generate(ctx context.Context, model string, opts ...GenerateOption) (*Machine, error) {
-	entry, err := models.Get(model)
+	entry, err := c.reg.Get(model)
 	if err != nil {
 		return nil, wrapSentinel(ErrUnknownModel, err)
 	}
@@ -213,16 +234,89 @@ func (c *Client) Generate(ctx context.Context, model string, opts ...GenerateOpt
 	case key == "":
 		cache := c.pipeline.Cache()
 		fp = cache.Fingerprint(m)
+		c.pipeline.TrackFingerprint(entry.Name, fp)
 		machine, err = cache.MachineForFingerprint(ctx, fp, m)
 	default:
 		cache := c.cacheFor(key, effOpts)
 		fp = cache.Fingerprint(m)
+		c.recordFP(entry.Name, key, fp)
 		machine, err = cache.MachineForFingerprint(ctx, fp, m)
 	}
 	if err != nil {
 		return nil, mapErr(err)
 	}
 	return &Machine{name: entry.Name, param: param, machine: machine, model: m, fp: fp}, nil
+}
+
+// RegisterModel compiles the spec and registers it on the client's
+// registry, making it immediately generatable and renderable alongside
+// the built-in scenarios (including batch cross products). It fails with
+// ErrInvalidSpec when the spec does not compile (the *SpecError cause
+// lists every diagnostic) and ErrModelExists when the name is taken.
+// Registration is thread-safe with concurrent lookups and renders.
+//
+// By default registrations land on the process-wide registry shared by
+// all non-isolated clients; construct the client WithIsolatedRegistry for
+// per-instance isolation (the serve endpoint always isolates).
+func (c *Client) RegisterModel(s *ModelSpec) error {
+	compiled, err := s.compile()
+	if err != nil {
+		return err
+	}
+	if err := c.reg.Add(compiled.Entry()); err != nil {
+		if errors.Is(err, models.ErrExists) {
+			return wrapSentinel(ErrModelExists, err)
+		}
+		return wrapSentinel(ErrInvalidSpec, err)
+	}
+	return nil
+}
+
+// UnregisterModel removes a registered model from the client's registry
+// and purges every memoised machine, EFSM and rendered artefact produced
+// for it, so a later registration under the same name can never observe
+// the departed model's cached work. (Re-registering a changed spec is
+// additionally protected by fingerprints: behaviourally different specs
+// never share a cache key.) It fails with ErrUnknownModel when the name
+// is not registered.
+func (c *Client) UnregisterModel(name string) error {
+	if !c.reg.Remove(name) {
+		return wrapSentinel(ErrUnknownModel,
+			fmt.Errorf("asagen: unknown model %q (known: %v)", name, c.reg.Names()))
+	}
+	// The pipeline purge covers its render/EFSM memos and the shared
+	// generation cache (the default Generate path tracks through
+	// TrackFingerprint); only the per-behaviour-option caches are the
+	// client's own bookkeeping.
+	c.pipeline.PurgeModel(name)
+
+	c.mu.Lock()
+	refs := c.modelFPs[name]
+	delete(c.modelFPs, name)
+	caches := make(map[string]*core.Cache, len(c.caches))
+	for key, cache := range c.caches {
+		caches[key] = cache
+	}
+	c.mu.Unlock()
+	for ref := range refs {
+		if cache, ok := caches[ref.key]; ok {
+			cache.Drop(ref.fp)
+		}
+	}
+	return nil
+}
+
+// recordFP remembers a generation's location in a per-behaviour-option
+// cache per model name, for UnregisterModel's purge.
+func (c *Client) recordFP(model, key string, fp core.Fingerprint) {
+	c.mu.Lock()
+	set, ok := c.modelFPs[model]
+	if !ok {
+		set = make(map[clientFP]struct{}, 1)
+		c.modelFPs[model] = set
+	}
+	set[clientFP{key: key, fp: fp}] = struct{}{}
+	c.mu.Unlock()
 }
 
 // cacheFor returns the memoisation cache for a per-call behaviour-option
@@ -283,9 +377,9 @@ func (c *Client) Stream(ctx context.Context, reqs []Request) iter.Seq[Result] {
 // AllRequests is the full registry cross product: every registered model
 // (at its default parameter) in every registered format, skipping EFSM
 // formats for models without an EFSM generalisation. Ordered by model
-// name, then format name.
+// name, then format name. Dynamically registered models are included.
 func (c *Client) AllRequests() []Request {
-	internal := artifact.AllRequests()
+	internal := c.pipeline.AllRequests()
 	reqs := make([]Request, len(internal))
 	for i, r := range internal {
 		reqs[i] = Request{Model: r.Model, Param: r.Param, Format: r.Format}

@@ -16,11 +16,18 @@
 // chord, storage); -r is the model parameter (replication factor, process
 // count, fan-out bound, or successor-list length).
 //
+// With -spec the command registers user-defined models from declarative
+// JSON spec files (see the "Authoring your own model" section of
+// README.md) before resolving -model, so a scenario never has to live in
+// this repository to be generated; the flag repeats for multiple specs,
+// and -all includes the registered specs in its cross product.
+//
 // With -all the command renders the full registry cross product — every
 // registered model in every registered format — concurrently into an
 // output directory, under content-addressed filenames. As the first
 // argument, "serve" starts the versioned HTTP generation service (see
-// API.md).
+// API.md), whose /v1/models collection accepts the same JSON specs over
+// POST.
 //
 // Examples:
 //
@@ -28,6 +35,8 @@
 //	fsmgen -model consensus -r 7 -format dot
 //	fsmgen -r 7 -format go -pkg commitfsm7 -o machine_gen.go
 //	fsmgen -model termination -r 13 -format efsm
+//	fsmgen -spec lease.json -format text
+//	fsmgen -spec lease.json -all -o artifacts
 //	fsmgen -all -o artifacts
 //	fsmgen serve -addr :8080
 package main
@@ -80,7 +89,13 @@ func run(args []string, stdout io.Writer) error {
 		noMerge   = fs.Bool("no-merge", false, "skip the equivalent-state merging step")
 		noPrune   = fs.Bool("no-prune", false, "legacy full enumeration instead of reachability-first exploration")
 		noComment = fs.Bool("no-comments", false, "omit generated state commentary")
+		specFiles []string
 	)
+	fs.Func("spec", "JSON model spec `file` to register before resolving -model (repeatable)",
+		func(path string) error {
+			specFiles = append(specFiles, path)
+			return nil
+		})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,11 +113,41 @@ func run(args []string, stdout io.Writer) error {
 	if *workers > 1 {
 		genOpts = append(genOpts, asagen.WithWorkers(*workers))
 	}
+	// The command's registrations live and die with this invocation: the
+	// client clones the registry so -spec never mutates process-global
+	// state (which keeps the test binary hermetic, too).
 	client := asagen.NewClient(
 		asagen.WithJobs(*jobs),
 		asagen.WithGenerateOptions(genOpts...),
+		asagen.WithIsolatedRegistry(),
 	)
 	ctx := context.Background()
+
+	var specNames []string
+	for _, path := range specFiles {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		sp, err := asagen.ParseModelSpec(data)
+		if err != nil {
+			return fmt.Errorf("-spec %s: %w", path, err)
+		}
+		if err := client.RegisterModel(sp); err != nil {
+			return fmt.Errorf("-spec %s: %w", path, err)
+		}
+		specNames = append(specNames, sp.Name())
+	}
+	// A lone spec names the model to render unless -model says otherwise.
+	modelFlagSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "model" {
+			modelFlagSet = true
+		}
+	})
+	if len(specNames) == 1 && !modelFlagSet {
+		*modelName = specNames[0]
+	}
 
 	if *all {
 		return runAll(ctx, client, *out, stdout)

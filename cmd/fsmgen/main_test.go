@@ -185,3 +185,101 @@ func TestRunAllMatchesPerFormatInvocations(t *testing.T) {
 		}
 	}
 }
+
+// leaseSpecJSON is a minimal user-defined spec for the -spec flag tests:
+// collect unanimous grants, lead, then finish on expiry.
+const leaseSpecJSON = `{
+  "name": "lease",
+  "description": "unanimous-grant leader lease",
+  "param_name": "peer count",
+  "default_param": 3,
+  "components": [
+    {"name": "leader", "kind": "bool"},
+    {"name": "grants", "kind": "int", "max": {"param": true}}
+  ],
+  "messages": ["GRANT", "EXPIRE"],
+  "rules": [
+    {"message": "GRANT",
+     "when": [{"component": "leader", "op": "==", "value": {"offset": 0}},
+              {"component": "grants", "op": "==", "value": {"param": true, "offset": -1}}],
+     "set": [{"component": "grants", "add": 1},
+             {"component": "leader", "set": {"offset": 1}}],
+     "actions": ["->lead"]},
+    {"message": "GRANT",
+     "when": [{"component": "leader", "op": "==", "value": {"offset": 0}}],
+     "set": [{"component": "grants", "add": 1}]},
+    {"message": "EXPIRE",
+     "when": [{"component": "leader", "op": "==", "value": {"offset": 1}}],
+     "actions": ["->release"],
+     "finish": true}
+  ]
+}`
+
+// TestRunSpecFlag: -spec registers a user-defined model for the
+// invocation; the lone spec becomes the default -model, renders in any
+// machine format, joins -all's cross product, and never leaks into other
+// invocations.
+func TestRunSpecFlag(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "lease.json")
+	if err := os.WriteFile(specPath, []byte(leaseSpecJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-spec", specPath, "-format", "text"}, &sb); err != nil {
+		t.Fatalf("run -spec: %v", err)
+	}
+	if !strings.Contains(sb.String(), "state machine: lease") {
+		t.Errorf("spec model not rendered by default:\n%.200s", sb.String())
+	}
+
+	// -model still wins when set explicitly.
+	sb.Reset()
+	if err := run([]string{"-spec", specPath, "-model", "commit", "-format", "text"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "state machine: bft-commit") {
+		t.Errorf("-model override ignored:\n%.200s", sb.String())
+	}
+
+	// -all includes the registered spec: 42 built-in artefacts + 5
+	// machine formats for the EFSM-less lease model.
+	outDir := t.TempDir()
+	sb.Reset()
+	if err := run([]string{"-spec", specPath, "-all", "-o", outDir}, &sb); err != nil {
+		t.Fatalf("run -spec -all: %v", err)
+	}
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 47 {
+		t.Fatalf("-spec -all wrote %d files, want 47", len(entries))
+	}
+	leaseArtifacts := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "lease-r3.") {
+			leaseArtifacts++
+		}
+	}
+	if leaseArtifacts != 5 {
+		t.Errorf("lease artefacts = %d, want 5 machine formats", leaseArtifacts)
+	}
+
+	// The registration is invocation-scoped: without -spec the model is
+	// unknown again.
+	if err := run([]string{"-model", "lease", "-format", "text"}, &sb); err == nil {
+		t.Error("spec registration leaked across invocations")
+	}
+
+	// A broken spec fails fast with the diagnostics.
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte(`{"name":"bad","components":[],"messages":[],"rules":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", badPath, "-format", "text"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "components") {
+		t.Errorf("invalid spec error = %v, want component diagnostic", err)
+	}
+}

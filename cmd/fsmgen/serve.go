@@ -15,10 +15,10 @@ import (
 
 // Serve mode: the versioned HTTP generation service (the paper's §4.2
 // "generation whenever a new parameter value is encountered" policy,
-// behind a network endpoint). The wire surface — /v1 routes, error
-// envelope, caching headers, request-scoped cancellation, and the
-// deprecated legacy shims — lives in internal/api and is documented in
-// the generated API.md.
+// behind a network endpoint). The wire surface — /v1 routes including the
+// writable model collection, error envelope, caching headers,
+// request-scoped cancellation, and the deprecated legacy shims — lives in
+// internal/api and is documented in the generated API.md.
 
 // runServe parses serve-mode flags and blocks serving HTTP.
 func runServe(args []string, stdout io.Writer) error {
@@ -31,10 +31,14 @@ func runServe(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p := artifact.New(artifact.WithJobs(*jobs))
+	// Every serve instance owns a clone of the built-in registry, so
+	// POST /v1/models registrations are never shared between concurrent
+	// servers (or with any other code in the process).
+	reg := models.Default().Clone()
+	p := artifact.New(artifact.WithJobs(*jobs), artifact.WithRegistry(reg))
 	p.Cache().SetLimit(*cacheLimit)
 	fmt.Fprintf(stdout, "fsmgen serve: listening on %s (%d models, %d formats)\n",
-		*addr, len(models.Names()), len(render.Formats()))
+		*addr, len(reg.Names()), len(render.Formats()))
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api.NewHandler(p),

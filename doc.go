@@ -15,10 +15,18 @@
 // generation, and cancelling a request's context aborts its generation
 // promptly without poisoning the cache.
 //
+// Scenarios are authorable without touching this repository: a
+// declarative ModelSpec (states, messages, guarded rules, EFSM
+// abstraction hints) compiles into the same abstract-model form the
+// built-ins use and registers dynamically — Client.RegisterModel /
+// UnregisterModel on the SDK, POST and DELETE on /v1/models over the
+// wire, and `fsmgen -spec` on the command line. See the "Authoring your
+// own model" section of README.md and examples/customspec.
+//
 // Failures classify under the package's sentinel errors —
 // ErrUnknownModel, ErrUnknownFormat, ErrNoEFSM, ErrStateSpaceOverflow,
-// ErrRender — while keeping the detailed messages of the underlying
-// layers.
+// ErrRender, ErrModelExists, ErrInvalidSpec — while keeping the detailed
+// messages of the underlying layers.
 //
 // The same capabilities are served over HTTP by `fsmgen serve` as the
 // versioned /v1 API (see API.md). See DESIGN.md for the system

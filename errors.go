@@ -29,6 +29,13 @@ var (
 	// ErrRender reports a renderer failure on a well-formed request — a
 	// library defect rather than a caller mistake.
 	ErrRender = errors.New("asagen: render failed")
+	// ErrModelExists reports a RegisterModel call whose spec name is
+	// already registered (built-in or dynamic). Unregister the existing
+	// model first to replace it.
+	ErrModelExists = errors.New("asagen: model already registered")
+	// ErrInvalidSpec reports a model spec rejected by compilation. The
+	// error message lists every diagnostic with its document path.
+	ErrInvalidSpec = errors.New("asagen: invalid model spec")
 )
 
 // apiError binds an internal error's message to a public sentinel: Error()

@@ -11,6 +11,12 @@
 // mid-generation, the generation aborts promptly and leaves no cache
 // entry (observable as a cancelled generation in /v1/stats).
 //
+// The model collection is writable: POST /v1/models registers a model
+// from a declarative JSON spec and DELETE /v1/models/{model} unregisters
+// one, purging its cached work. Registrations are scoped to the serving
+// instance's registry — `fsmgen serve` hands every server its own clone —
+// so concurrent servers never share mutable state.
+//
 // The pre-/v1 routes (/machine/{model}, /models, /formats, /stats) are
 // kept as thin deprecated shims with their original status-code mapping;
 // they answer with Deprecation and Link headers naming the successor
@@ -22,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -29,6 +36,7 @@ import (
 	"asagen/internal/artifact"
 	"asagen/internal/models"
 	"asagen/internal/render"
+	"asagen/internal/spec"
 )
 
 // Error codes carried in the JSON error envelope.
@@ -41,7 +49,14 @@ const (
 	CodeNotFound          = "not_found"
 	CodeMethodNotAllowed  = "method_not_allowed"
 	CodeGenerationAborted = "generation_aborted"
+	CodeModelExists       = "model_exists"
+	CodeInvalidSpec       = "invalid_spec"
 )
+
+// maxSpecBytes bounds the POST /v1/models request body; a model spec is a
+// compact document, so anything beyond this is a caller mistake, not a
+// bigger scenario.
+const maxSpecBytes = 1 << 20
 
 // Route documents one wire endpoint; the served mux and the generated
 // API.md route table are both derived from the same list, so the document
@@ -62,9 +77,13 @@ type Route struct {
 	handler http.HandlerFunc
 }
 
-// Handler serves the wire API over an artefact pipeline.
+// Handler serves the wire API over an artefact pipeline. Model names
+// resolve against the pipeline's registry, so a server constructed over a
+// cloned registry (as `fsmgen serve` always does) accepts dynamic model
+// registrations without sharing mutable state with any other instance.
 type Handler struct {
 	p      *artifact.Pipeline
+	reg    *models.Registry
 	routes []Route
 	mux    *http.ServeMux
 }
@@ -72,7 +91,7 @@ type Handler struct {
 // NewHandler returns the HTTP handler serving the /v1 API and the legacy
 // shims over the pipeline.
 func NewHandler(p *artifact.Pipeline) *Handler {
-	h := &Handler{p: p}
+	h := &Handler{p: p, reg: p.Registry()}
 	h.routes = []Route{
 		{
 			Method:  "GET",
@@ -81,10 +100,22 @@ func NewHandler(p *artifact.Pipeline) *Handler {
 			handler: h.handleModels,
 		},
 		{
+			Method:  "POST",
+			Pattern: "/v1/models",
+			Summary: "Register a model from a JSON spec; it is immediately generatable and renderable.",
+			handler: h.handleRegisterModel,
+		},
+		{
 			Method:  "GET",
 			Pattern: "/v1/models/{model}",
 			Summary: "Describe one registered model.",
 			handler: h.handleModel,
+		},
+		{
+			Method:  "DELETE",
+			Pattern: "/v1/models/{model}",
+			Summary: "Unregister a model and purge its cached machines and artefacts.",
+			handler: h.handleUnregisterModel,
 		},
 		{
 			Method:  "GET",
@@ -136,8 +167,16 @@ func NewHandler(p *artifact.Pipeline) *Handler {
 		},
 	}
 	h.mux = http.NewServeMux()
+	byPattern := map[string][]Route{}
+	var patterns []string
 	for _, route := range h.routes {
-		h.mux.HandleFunc(route.Pattern, methodGuard(route, route.handler))
+		if _, seen := byPattern[route.Pattern]; !seen {
+			patterns = append(patterns, route.Pattern)
+		}
+		byPattern[route.Pattern] = append(byPattern[route.Pattern], route)
+	}
+	for _, pattern := range patterns {
+		h.mux.HandleFunc(pattern, methodDispatch(byPattern[pattern]))
 	}
 	// Unmatched paths get the JSON envelope rather than the mux's plain
 	// text 404.
@@ -158,26 +197,34 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
 }
 
-// methodGuard enforces the route's method (plus HEAD for GET routes),
-// answering other methods 405 with an Allow header and the JSON error
-// envelope, and stamps deprecation headers on legacy shims.
-func methodGuard(route Route, next http.HandlerFunc) http.HandlerFunc {
-	allow := route.Method
-	if route.Method == http.MethodGet {
-		allow = "GET, HEAD"
+// methodDispatch selects among the routes sharing one pattern by request
+// method (HEAD is served by the GET route), answering unsupported methods
+// 405 with an Allow header and the JSON error envelope, and stamps
+// deprecation headers on legacy shims.
+func methodDispatch(routes []Route) http.HandlerFunc {
+	var allowed []string
+	for _, route := range routes {
+		allowed = append(allowed, route.Method)
+		if route.Method == http.MethodGet {
+			allowed = append(allowed, http.MethodHead)
+		}
 	}
+	allow := strings.Join(allowed, ", ")
 	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != route.Method && !(route.Method == http.MethodGet && r.Method == http.MethodHead) {
-			w.Header().Set("Allow", allow)
-			writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
-				fmt.Sprintf("method %s not allowed on %s (allow: %s)", r.Method, route.Pattern, allow))
+		for _, route := range routes {
+			if r.Method != route.Method && !(route.Method == http.MethodGet && r.Method == http.MethodHead) {
+				continue
+			}
+			if route.SupersededBy != "" {
+				w.Header().Set("Deprecation", "true")
+				w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", route.SupersededBy))
+			}
+			route.handler(w, r)
 			return
 		}
-		if route.SupersededBy != "" {
-			w.Header().Set("Deprecation", "true")
-			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", route.SupersededBy))
-		}
-		next(w, r)
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed on %s (allow: %s)", r.Method, routes[0].Pattern, allow))
 	}
 }
 
@@ -205,9 +252,10 @@ func modelInfoFor(e models.Entry) modelInfo {
 }
 
 func (h *Handler) handleModels(w http.ResponseWriter, r *http.Request) {
-	out := make([]modelInfo, 0, len(models.Names()))
-	for _, name := range models.Names() {
-		e, err := models.Get(name)
+	names := h.reg.Names()
+	out := make([]modelInfo, 0, len(names))
+	for _, name := range names {
+		e, err := h.reg.Get(name)
 		if err != nil {
 			continue
 		}
@@ -217,12 +265,67 @@ func (h *Handler) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) handleModel(w http.ResponseWriter, r *http.Request) {
-	e, err := models.Get(r.PathValue("model"))
+	e, err := h.reg.Get(r.PathValue("model"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, CodeUnknownModel, err.Error())
 		return
 	}
 	writeJSON(w, modelInfoFor(e))
+}
+
+// handleRegisterModel serves POST /v1/models: the body is a JSON model
+// spec (see the spec package and the README's authoring section), decoded
+// strictly and compiled; a valid spec registers on this server's registry
+// and is immediately generatable and renderable. Malformed or invalid
+// specs are caller mistakes (400, code invalid_spec, with the compile
+// diagnostics in the message); a taken name is a conflict (409).
+func (h *Handler) handleRegisterModel(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec,
+			fmt.Sprintf("read spec body: %v", err))
+		return
+	}
+	compiled, err := spec.ParseAndCompile(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
+		return
+	}
+	if err := h.reg.Add(compiled.Entry()); err != nil {
+		if errors.Is(err, models.ErrExists) {
+			writeError(w, http.StatusConflict, CodeModelExists, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
+		return
+	}
+	e, err := h.reg.Get(compiled.Name())
+	if err != nil {
+		// Registered and immediately removed by a concurrent DELETE; the
+		// registration itself succeeded.
+		e = compiled.Entry()
+	}
+	w.Header().Set("Location", "/v1/models/"+compiled.Name())
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusCreated)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(modelInfoFor(e))
+}
+
+// handleUnregisterModel serves DELETE /v1/models/{model}: the model is
+// removed from this server's registry and its cached machines, EFSMs and
+// rendered artefacts are purged, so re-registering the name never
+// observes stale work.
+func (h *Handler) handleUnregisterModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	if !h.reg.Remove(name) {
+		writeError(w, http.StatusNotFound, CodeUnknownModel,
+			fmt.Sprintf("models: unknown model %q (known: %v)", name, h.reg.Names()))
+		return
+	}
+	h.p.PurgeModel(name)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (h *Handler) handleFormats(w http.ResponseWriter, r *http.Request) {

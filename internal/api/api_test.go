@@ -229,8 +229,16 @@ func TestErrorEnvelope(t *testing.T) {
 func TestMethodNotAllowed(t *testing.T) {
 	ts := httptest.NewServer(NewHandler(artifact.New()))
 	defer ts.Close()
-	for _, path := range []string{"/v1/models", "/v1/models/commit/artifacts/text", "/v1/stats", "/models"} {
-		req, err := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader("{}"))
+	tests := []struct {
+		path      string
+		wantAllow string
+	}{
+		{"/v1/models/commit/artifacts/text", "GET, HEAD"},
+		{"/v1/stats", "GET, HEAD"},
+		{"/models", "GET, HEAD"},
+	}
+	for _, tt := range tests {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+tt.path, strings.NewReader("{}"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,15 +249,32 @@ func TestMethodNotAllowed(t *testing.T) {
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusMethodNotAllowed {
-			t.Errorf("POST %s = %d, want 405", path, resp.StatusCode)
+			t.Errorf("POST %s = %d, want 405", tt.path, resp.StatusCode)
 			continue
 		}
-		if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
-			t.Errorf("POST %s Allow = %q, want \"GET, HEAD\"", path, allow)
+		if allow := resp.Header.Get("Allow"); allow != tt.wantAllow {
+			t.Errorf("POST %s Allow = %q, want %q", tt.path, allow, tt.wantAllow)
 		}
 		if code := envelope(t, string(body)).Code; code != CodeMethodNotAllowed {
-			t.Errorf("POST %s code = %q", path, code)
+			t.Errorf("POST %s code = %q", tt.path, code)
 		}
+	}
+
+	// Multi-method patterns advertise every served method.
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/models", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /v1/models = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, HEAD, POST" {
+		t.Errorf("PUT /v1/models Allow = %q, want \"GET, HEAD, POST\"", allow)
 	}
 }
 

@@ -14,12 +14,18 @@ func (h *Handler) Markdown() string {
 	b.WriteString("# asagen wire API\n\n")
 	b.WriteString("<!-- Generated from internal/api; do not edit by hand.\n")
 	b.WriteString("     Regenerate: go test ./internal/api -run TestAPIDocument -update -->\n\n")
-	b.WriteString("The HTTP generation service started by `fsmgen serve`. All routes are\n")
-	b.WriteString("read-only; non-GET methods are answered `405` with an `Allow` header.\n")
+	b.WriteString("The HTTP generation service started by `fsmgen serve`. Methods not\n")
+	b.WriteString("listed for a path are answered `405` with an `Allow` header.\n")
 	b.WriteString("Artefact responses carry a content-hash `ETag`, `Cache-Control` and\n")
 	b.WriteString("`Vary` headers, and revalidate via `If-None-Match` to `304`. Closing\n")
 	b.WriteString("the connection mid-request cancels the generation server-side (the\n")
 	b.WriteString("abort is visible as `cancellations` in `/v1/stats`).\n\n")
+	b.WriteString("The model collection is writable: `POST /v1/models` accepts a\n")
+	b.WriteString("declarative JSON model spec (see the \"Authoring your own model\"\n")
+	b.WriteString("section of README.md) and registers it for immediate generation and\n")
+	b.WriteString("rendering; `DELETE /v1/models/{model}` unregisters a model and purges\n")
+	b.WriteString("its cached machines and artefacts. Registrations are scoped to the\n")
+	b.WriteString("serving instance — concurrent servers never share mutable state.\n\n")
 
 	b.WriteString("## Versioned routes (`/v1`)\n\n")
 	b.WriteString("| Method | Path | Query | Description |\n")
@@ -43,8 +49,10 @@ func (h *Handler) Markdown() string {
 	b.WriteString("| `bad_parameter` | 400 | unparsable or model-rejected parameter value |\n")
 	b.WriteString("| `render_failed` | 500 | renderer failure on a well-formed request |\n")
 	b.WriteString("| `generation_aborted` | 503 | shared in-flight generation aborted by another request's disconnect; retry |\n")
+	b.WriteString("| `invalid_spec` | 400 | model spec rejected; the message lists every diagnostic with its document path |\n")
+	b.WriteString("| `model_exists` | 409 | spec name already registered; unregister it first to replace |\n")
 	b.WriteString("| `not_found` | 404 | no such route |\n")
-	b.WriteString("| `method_not_allowed` | 405 | non-GET method; see the `Allow` header |\n")
+	b.WriteString("| `method_not_allowed` | 405 | method not served on the path; see the `Allow` header |\n")
 
 	b.WriteString("\n## Deprecated routes\n\n")
 	b.WriteString("Kept as thin shims; each answers with `Deprecation: true` and a\n")

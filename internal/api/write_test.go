@@ -1,0 +1,312 @@
+package api
+
+// Tests for the writable model collection: POST /v1/models and
+// DELETE /v1/models/{model}. Every handler here is constructed over its
+// own registry clone — exactly as `fsmgen serve` does — so the tests also
+// pin the per-server isolation property.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"asagen/internal/artifact"
+	"asagen/internal/models"
+	"asagen/internal/spec"
+)
+
+// countDoc is a minimal spec with an EFSM abstraction: count steps up to
+// the parameter, then finish.
+func countDoc(name string) spec.Doc {
+	zero := spec.Lit(0)
+	return spec.Doc{
+		Name:         name,
+		Description:  "synthetic step counter for writable-API tests",
+		ParamName:    "steps",
+		DefaultParam: 3,
+		MinParam:     2,
+		SweepParams:  []int{2, 3, 5},
+		Components: []spec.Component{
+			{Name: "count", Kind: spec.KindInt, Max: spec.ParamValue(0)},
+		},
+		Messages: []string{"STEP", "RESET"},
+		Rules: []spec.Rule{
+			{
+				Message: "STEP",
+				When:    []spec.Cond{{Component: "count", Op: spec.OpLt, Value: spec.ParamValue(0)}},
+				Set:     []spec.Assign{{Component: "count", Add: 1}},
+			},
+			{
+				Message: "STEP",
+				When:    []spec.Cond{{Component: "count", Op: spec.OpEq, Value: spec.ParamValue(0)}},
+				Actions: []string{"->done"},
+				Finish:  true,
+			},
+			{
+				Message: "RESET",
+				When:    []spec.Cond{{Component: "count", Op: spec.OpGt, Value: spec.Lit(0)}},
+				Set:     []spec.Assign{{Component: "count", Set: &zero}},
+			},
+		},
+		Describe: []spec.DescribeRule{{Text: "{count} of {param} steps taken."}},
+		Abstraction: &spec.Abstraction{
+			Labels: []spec.LabelRule{{Label: "COUNTING"}},
+			Guards: []spec.GuardRule{
+				{Message: "STEP", Component: "count"},
+				{Message: "RESET", Component: "count"},
+			},
+			Ops:     []spec.VarOpRule{{Message: "STEP", Component: "count", Delta: 1}},
+			Symbols: []spec.SymbolRule{{Value: spec.ParamValue(0), Text: "n"}},
+		},
+	}
+}
+
+func specJSON(t *testing.T, doc spec.Doc) []byte {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// isolatedServer returns a test server over its own registry clone, plus
+// the clone for direct inspection.
+func isolatedServer(t *testing.T) (*httptest.Server, *models.Registry) {
+	t.Helper()
+	reg := models.Default().Clone()
+	ts := httptest.NewServer(NewHandler(artifact.New(artifact.WithRegistry(reg))))
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+func do(t *testing.T, ts *httptest.Server, method, path string, body []byte) (*http.Response, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(data)
+}
+
+// TestRegisterGenerateRenderUnregister walks the full lifecycle: a model
+// registered over the wire is immediately listable, generatable and
+// renderable with full caching-header hygiene, and unregistering removes
+// it and its artefacts.
+func TestRegisterGenerateRenderUnregister(t *testing.T) {
+	ts, _ := isolatedServer(t)
+
+	resp, body := do(t, ts, http.MethodPost, "/v1/models", specJSON(t, countDoc("steps")))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/models = %d, body %s", resp.StatusCode, body)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/models/steps" {
+		t.Errorf("Location = %q", loc)
+	}
+	var info struct {
+		Name    string `json:"name"`
+		HasEFSM bool   `json:"has_efsm"`
+	}
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("201 body is not model info: %v\n%s", err, body)
+	}
+	if info.Name != "steps" || !info.HasEFSM {
+		t.Errorf("registered info = %+v", info)
+	}
+
+	// Immediately listable and describable.
+	resp, body = do(t, ts, http.MethodGet, "/v1/models/steps", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/models/steps = %d", resp.StatusCode)
+	}
+	resp, body = do(t, ts, http.MethodGet, "/v1/models", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"steps"`) {
+		t.Errorf("model listing does not include the registration: %d\n%s", resp.StatusCode, body)
+	}
+
+	// Immediately renderable, in machine and EFSM formats, with ETag
+	// revalidation.
+	for _, format := range []string{"text", "go", "efsm"} {
+		path := "/v1/models/steps/artifacts/" + format
+		resp, body = do(t, ts, http.MethodGet, path, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d, body %s", path, resp.StatusCode, body)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s returned an empty artefact", path)
+		}
+		etag := resp.Header.Get("ETag")
+		if etag == "" || resp.Header.Get("Vary") != "Accept-Encoding" {
+			t.Errorf("GET %s hygiene: ETag %q, Vary %q", path, etag, resp.Header.Get("Vary"))
+		}
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("If-None-Match", etag)
+		revalidated, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		revalidated.Body.Close()
+		if revalidated.StatusCode != http.StatusNotModified {
+			t.Errorf("GET %s with If-None-Match = %d, want 304", path, revalidated.StatusCode)
+		}
+	}
+
+	// The artefact honours ?r= with the usual parameter handling.
+	resp, body = do(t, ts, http.MethodGet, "/v1/models/steps/artifacts/text?r=5", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "parameter: 5") {
+		t.Errorf("parameterised render = %d\n%.200s", resp.StatusCode, body)
+	}
+	resp, body = do(t, ts, http.MethodGet, "/v1/models/steps/artifacts/text?r=1", nil)
+	if resp.StatusCode != http.StatusBadRequest || envelope(t, body).Code != CodeBadParameter {
+		t.Errorf("r=1 (below min_param) = %d, want 400, body %.200s", resp.StatusCode, body)
+	}
+
+	// Unregister: gone from the collection, artefact requests 404.
+	resp, _ = do(t, ts, http.MethodDelete, "/v1/models/steps", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE /v1/models/steps = %d", resp.StatusCode)
+	}
+	resp, body = do(t, ts, http.MethodGet, "/v1/models/steps/artifacts/text", nil)
+	if resp.StatusCode != http.StatusNotFound || envelope(t, body).Code != CodeUnknownModel {
+		t.Errorf("render after DELETE = %d %s", resp.StatusCode, body)
+	}
+	resp, body = do(t, ts, http.MethodDelete, "/v1/models/steps", nil)
+	if resp.StatusCode != http.StatusNotFound || envelope(t, body).Code != CodeUnknownModel {
+		t.Errorf("second DELETE = %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestRegisterErrors: duplicate names conflict (409, model_exists),
+// invalid specs are caller mistakes (400, invalid_spec) with the
+// diagnostics' document paths in the message, and malformed JSON is
+// rejected the same way.
+func TestRegisterErrors(t *testing.T) {
+	ts, _ := isolatedServer(t)
+
+	if resp, body := do(t, ts, http.MethodPost, "/v1/models", specJSON(t, countDoc("dup"))); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first POST = %d %s", resp.StatusCode, body)
+	}
+	resp, body := do(t, ts, http.MethodPost, "/v1/models", specJSON(t, countDoc("dup")))
+	if resp.StatusCode != http.StatusConflict || envelope(t, body).Code != CodeModelExists {
+		t.Errorf("duplicate POST = %d %s", resp.StatusCode, body)
+	}
+
+	// A built-in name conflicts too.
+	resp, body = do(t, ts, http.MethodPost, "/v1/models", specJSON(t, countDoc("commit")))
+	if resp.StatusCode != http.StatusConflict || envelope(t, body).Code != CodeModelExists {
+		t.Errorf("built-in shadowing POST = %d %s", resp.StatusCode, body)
+	}
+
+	bad := countDoc("bad")
+	bad.Rules[0].When[0].Component = "no-such-component"
+	resp, body = do(t, ts, http.MethodPost, "/v1/models", specJSON(t, bad))
+	if resp.StatusCode != http.StatusBadRequest || envelope(t, body).Code != CodeInvalidSpec {
+		t.Fatalf("invalid spec POST = %d %s", resp.StatusCode, body)
+	}
+	if msg := envelope(t, body).Message; !strings.Contains(msg, "rules[0].when[0].component") {
+		t.Errorf("invalid_spec message lacks the document path: %s", msg)
+	}
+
+	resp, body = do(t, ts, http.MethodPost, "/v1/models", []byte(`{"name": "x", not json`))
+	if resp.StatusCode != http.StatusBadRequest || envelope(t, body).Code != CodeInvalidSpec {
+		t.Errorf("malformed JSON POST = %d %s", resp.StatusCode, body)
+	}
+	resp, body = do(t, ts, http.MethodPost, "/v1/models", []byte(`{"name":"x","bogus_key":1}`))
+	if resp.StatusCode != http.StatusBadRequest || envelope(t, body).Code != CodeInvalidSpec {
+		t.Errorf("unknown-field POST = %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestServerRegistryIsolation: registrations on one server are invisible
+// to a concurrently running server and to the process-wide default
+// registry.
+func TestServerRegistryIsolation(t *testing.T) {
+	tsA, _ := isolatedServer(t)
+	tsB, _ := isolatedServer(t)
+
+	if resp, body := do(t, tsA, http.MethodPost, "/v1/models", specJSON(t, countDoc("only-a"))); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST on A = %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := do(t, tsA, http.MethodGet, "/v1/models/only-a", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("GET on A = %d, want 200", resp.StatusCode)
+	}
+	if resp, _ := do(t, tsB, http.MethodGet, "/v1/models/only-a", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET on B = %d, want 404", resp.StatusCode)
+	}
+	if _, err := models.Get("only-a"); err == nil {
+		t.Error("registration leaked into the process-wide default registry")
+	}
+
+	// Deleting a built-in on A is A's business alone.
+	if resp, _ := do(t, tsA, http.MethodDelete, "/v1/models/chord", nil); resp.StatusCode != http.StatusNoContent {
+		t.Errorf("DELETE built-in on A = %d, want 204", resp.StatusCode)
+	}
+	if resp, _ := do(t, tsB, http.MethodGet, "/v1/models/chord", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("GET chord on B after A's delete = %d, want 200", resp.StatusCode)
+	}
+	if _, err := models.Get("chord"); err != nil {
+		t.Errorf("built-in vanished from the default registry: %v", err)
+	}
+}
+
+// TestConcurrentRegisterAndRender exercises the writable surface under
+// the race detector: distinct models register and render concurrently
+// while the listing endpoint reads the registry.
+func TestConcurrentRegisterAndRender(t *testing.T) {
+	ts, _ := isolatedServer(t)
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n*2)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("conc-%d", i)
+			doc := countDoc(name)
+			doc.DefaultParam = 2 + i
+			resp, body := do(t, ts, http.MethodPost, "/v1/models", specJSON(t, doc))
+			if resp.StatusCode != http.StatusCreated {
+				errs <- fmt.Errorf("POST %s = %d %s", name, resp.StatusCode, body)
+				return
+			}
+			resp, body = do(t, ts, http.MethodGet, "/v1/models/"+name+"/artifacts/text", nil)
+			if resp.StatusCode != http.StatusOK || len(body) == 0 {
+				errs <- fmt.Errorf("render %s = %d", name, resp.StatusCode)
+			}
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := do(t, ts, http.MethodGet, "/v1/models", nil)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("concurrent listing = %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -89,10 +89,15 @@ type Pipeline struct {
 	jobs    int
 	genOpts []core.Option
 	cache   *core.Cache
+	reg     *models.Registry
 
 	mu      sync.Mutex
 	efsms   map[efsmKey]*efsmEntry
 	renders map[renderKey]*renderEntry
+	// modelFPs records, per registry name, the machine fingerprints the
+	// pipeline generated for it, so PurgeModel can evict a dynamically
+	// unregistered model's generations from the fingerprint-keyed cache.
+	modelFPs map[string]map[core.Fingerprint]struct{}
 
 	renderHits, renderMisses int64
 }
@@ -154,12 +159,26 @@ func WithCache(c *core.Cache) Option {
 	return func(p *Pipeline) { p.cache = c }
 }
 
+// WithRegistry substitutes the scenario registry the pipeline resolves
+// model names against. The default is the process-wide registry of
+// built-in scenarios; a long-running serve instance passes its own clone
+// so dynamic registrations are never shared between concurrent servers.
+func WithRegistry(r *models.Registry) Option {
+	return func(p *Pipeline) {
+		if r != nil {
+			p.reg = r
+		}
+	}
+}
+
 // New returns a pipeline with the given options.
 func New(opts ...Option) *Pipeline {
 	p := &Pipeline{
-		jobs:    runtime.GOMAXPROCS(0),
-		efsms:   make(map[efsmKey]*efsmEntry),
-		renders: make(map[renderKey]*renderEntry),
+		jobs:     runtime.GOMAXPROCS(0),
+		reg:      models.Default(),
+		efsms:    make(map[efsmKey]*efsmEntry),
+		renders:  make(map[renderKey]*renderEntry),
+		modelFPs: make(map[string]map[core.Fingerprint]struct{}),
 	}
 	for _, opt := range opts {
 		opt(p)
@@ -173,6 +192,10 @@ func New(opts ...Option) *Pipeline {
 // Cache returns the pipeline's generation cache, e.g. to bound it with
 // SetLimit for a long-running serve process.
 func (p *Pipeline) Cache() *core.Cache { return p.cache }
+
+// Registry returns the scenario registry the pipeline resolves model
+// names against.
+func (p *Pipeline) Registry() *models.Registry { return p.reg }
 
 // Stats returns a snapshot of the pipeline's cache counters.
 func (p *Pipeline) Stats() Stats {
@@ -192,6 +215,41 @@ func (p *Pipeline) Purge() {
 	p.cache.Purge()
 	p.efsms = make(map[efsmKey]*efsmEntry)
 	p.renders = make(map[renderKey]*renderEntry)
+	p.modelFPs = make(map[string]map[core.Fingerprint]struct{})
+}
+
+// PurgeModel drops every memoised machine, EFSM and rendered artefact
+// produced for one registry name, returning the number of machine
+// generations evicted. Called when a dynamically registered model is
+// unregistered, so a later registration under the same name can never
+// observe the departed model's cached work.
+func (p *Pipeline) PurgeModel(name string) int {
+	p.mu.Lock()
+	fps := p.modelFPs[name]
+	delete(p.modelFPs, name)
+	for key := range p.renders {
+		if key.model == name {
+			delete(p.renders, key)
+			continue
+		}
+		if _, ok := fps[key.fp]; ok {
+			delete(p.renders, key)
+		}
+	}
+	for key := range p.efsms {
+		if key.model == name {
+			delete(p.efsms, key)
+		}
+	}
+	p.mu.Unlock()
+
+	dropped := 0
+	for fp := range fps {
+		if p.cache.Drop(fp) {
+			dropped++
+		}
+	}
+	return dropped
 }
 
 // Render produces the artefact for one request. Generation is memoised
@@ -210,9 +268,9 @@ func (p *Pipeline) Render(ctx context.Context, req Request) Result {
 		res.Err = err
 		return res
 	}
-	entry, err := models.Get(req.Model)
+	entry, err := p.reg.Get(req.Model)
 	if err != nil {
-		res.Err = fmt.Errorf("%w: %q (known: %v)", ErrUnknownModel, req.Model, models.Names())
+		res.Err = fmt.Errorf("%w: %q (known: %v)", ErrUnknownModel, req.Model, p.reg.Names())
 		return res
 	}
 	if req.Param <= 0 {
@@ -254,6 +312,7 @@ func (p *Pipeline) Render(ctx context.Context, req Request) Result {
 		return res
 	}
 	res.Fingerprint = p.cache.Fingerprint(model)
+	p.recordFingerprint(req.Model, res.Fingerprint)
 	machine, err := p.cache.MachineForFingerprint(ctx, res.Fingerprint, model)
 	if err != nil {
 		res.Err = err
@@ -304,6 +363,28 @@ func (p *Pipeline) efsmFor(ctx context.Context, entry models.Entry, param int) (
 	}
 	close(e.done)
 	return e.efsm, e.err
+}
+
+// TrackFingerprint records that the named model generates under fp in
+// the pipeline's cache, so PurgeModel can later evict the generation.
+// Callers that generate through Cache() directly (the SDK facade's
+// default Generate path) must track here for unregistration to purge
+// their machines; Render tracks its own requests.
+func (p *Pipeline) TrackFingerprint(model string, fp core.Fingerprint) {
+	p.recordFingerprint(model, fp)
+}
+
+// recordFingerprint remembers that the named model generated under fp, so
+// PurgeModel can later evict the generation.
+func (p *Pipeline) recordFingerprint(model string, fp core.Fingerprint) {
+	p.mu.Lock()
+	set, ok := p.modelFPs[model]
+	if !ok {
+		set = make(map[core.Fingerprint]struct{}, 1)
+		p.modelFPs[model] = set
+	}
+	set[fp] = struct{}{}
+	p.mu.Unlock()
 }
 
 // renderMemo memoises one rendered artefact, single-flight.
@@ -379,14 +460,25 @@ func (p *Pipeline) each(ctx context.Context, reqs []Request, deliver func(i int,
 	wg.Wait()
 }
 
-// AllRequests is the full registry cross product: every registered model
-// (at its default parameter) in every registered format, skipping EFSM
-// formats for models that declare no EFSM abstraction. Requests are
-// ordered by model name, then format name.
+// AllRequests is the full cross product of the pipeline's registry: every
+// registered model (at its default parameter) in every registered format,
+// skipping EFSM formats for models that declare no EFSM abstraction.
+// Requests are ordered by model name, then format name, so dynamically
+// registered models join a batch deterministically.
+func (p *Pipeline) AllRequests() []Request {
+	return registryRequests(p.reg)
+}
+
+// AllRequests is the full default-registry cross product; see
+// Pipeline.AllRequests for the per-pipeline form.
 func AllRequests() []Request {
+	return registryRequests(models.Default())
+}
+
+func registryRequests(reg *models.Registry) []Request {
 	var reqs []Request
-	for _, name := range models.Names() {
-		entry, err := models.Get(name)
+	for _, name := range reg.Names() {
+		entry, err := reg.Get(name)
 		if err != nil {
 			continue
 		}

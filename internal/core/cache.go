@@ -281,6 +281,27 @@ func (c *Cache) Purge() int {
 	return n
 }
 
+// Drop removes the memoised machine for one fingerprint, reporting whether
+// an entry was present. Goroutines still waiting on a dropped entry's
+// in-flight generation complete normally; the entry is simply no longer
+// findable, so the next request regenerates. Used by the artefact pipeline
+// to purge a dynamically unregistered model's generations.
+func (c *Cache) Drop(fp Fingerprint) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[fp]; !ok {
+		return false
+	}
+	delete(c.entries, fp)
+	for i, o := range c.order {
+		if o == fp {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()

@@ -1,0 +1,84 @@
+package models
+
+import (
+	"errors"
+	"testing"
+
+	"asagen/internal/core"
+	"asagen/internal/termination"
+)
+
+func testEntry(name string) Entry {
+	return Entry{
+		Name:         name,
+		Description:  "registry isolation test entry",
+		ParamName:    "k",
+		DefaultParam: 2,
+		Build:        func(k int) (core.Model, error) { return termination.NewModel(k) },
+	}
+}
+
+// TestRegistryCloneIsolation: mutations of a clone and its origin are
+// invisible to each other.
+func TestRegistryCloneIsolation(t *testing.T) {
+	base := NewRegistry()
+	if err := base.Add(testEntry("shared")); err != nil {
+		t.Fatal(err)
+	}
+	clone := base.Clone()
+
+	if err := clone.Add(testEntry("clone-only")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Get("clone-only"); err == nil {
+		t.Error("clone registration leaked into the origin")
+	}
+	if !clone.Remove("shared") {
+		t.Fatal("clone could not remove an inherited entry")
+	}
+	if _, err := base.Get("shared"); err != nil {
+		t.Errorf("clone removal leaked into the origin: %v", err)
+	}
+
+	if err := base.Add(testEntry("origin-only")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clone.Get("origin-only"); err == nil {
+		t.Error("origin registration appeared in a pre-existing clone")
+	}
+}
+
+// TestRegistryAddErrors: duplicates and invalid entries fail with the
+// typed sentinels rather than panicking.
+func TestRegistryAddErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(testEntry("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(testEntry("dup")); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate Add error = %v, want ErrExists", err)
+	}
+	if err := r.Add(Entry{Name: "", Build: testEntry("x").Build}); !errors.Is(err, ErrInvalidEntry) {
+		t.Errorf("empty-name Add error = %v, want ErrInvalidEntry", err)
+	}
+	if err := r.Add(Entry{Name: "nobuilder"}); !errors.Is(err, ErrInvalidEntry) {
+		t.Errorf("no-builder Add error = %v, want ErrInvalidEntry", err)
+	}
+	if r.Remove("never") {
+		t.Error("Remove reported success for an absent entry")
+	}
+}
+
+// TestDefaultRegistryHoldsBuiltins: the package-level functions operate
+// on the default registry, and a clone starts with the built-ins.
+func TestDefaultRegistryHoldsBuiltins(t *testing.T) {
+	clone := Default().Clone()
+	for _, name := range []string{"commit", "commit-redundant", "consensus", "chord", "storage", "termination"} {
+		if _, err := clone.Get(name); err != nil {
+			t.Errorf("clone lacks built-in %q: %v", name, err)
+		}
+	}
+	if got, want := len(clone.Names()), len(Names()); got < want {
+		t.Errorf("clone has %d names, default has %d", got, want)
+	}
+}

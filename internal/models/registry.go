@@ -7,10 +7,16 @@
 // optional EFSM generalisation, and the metadata commands need to present
 // the scenario (parameter semantics, defaults, sweep values). New model
 // packages plug into every command and example by adding one Register call.
+//
+// Registries are first-class values: the process-wide default registry
+// holds the built-in scenarios, and callers that accept dynamic
+// registrations (the SDK client, the serve endpoint) may Clone it so
+// mutable state is never shared between independent instances.
 package models
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -69,53 +75,99 @@ func (e Entry) Model(param int) (core.Model, error) {
 	return e.Build(param)
 }
 
-// registryMu guards registry: entries are normally registered at package
-// initialisation, but tests (and future plugins) may Register while
-// concurrent pipeline workers resolve names, so reads and writes must
-// synchronise.
+// Errors classifying registry mutations, for callers that map them to
+// protocol responses.
 var (
-	registryMu sync.RWMutex
-	registry   = map[string]Entry{}
+	// ErrExists reports a registration under a name already taken.
+	ErrExists = errors.New("models: model already registered")
+	// ErrInvalidEntry reports a structurally invalid entry (empty name or
+	// missing builder).
+	ErrInvalidEntry = errors.New("models: invalid entry")
 )
 
-// Register adds an entry to the registry. It panics on a duplicate or empty
-// name, which indicates a programming error at package initialisation. It
-// is safe for concurrent use with the lookup functions.
-func Register(e Entry) {
+// Registry is a named set of scenario entries. It is safe for concurrent
+// use: entries are normally added at package initialisation, but dynamic
+// registrations (SDK clients, the writable serve endpoint, tests) may Add
+// and Remove while concurrent pipeline workers resolve names.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]Entry{}}
+}
+
+// defaultRegistry is the process-wide registry holding the built-in
+// scenarios; the package-level functions operate on it.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry of built-in scenarios.
+func Default() *Registry { return defaultRegistry }
+
+// Clone returns a new registry with a copy of r's current entries.
+// Mutations of the clone and the original are independent, which gives
+// long-running services per-instance registry isolation.
+func (r *Registry) Clone() *Registry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	entries := make(map[string]Entry, len(r.entries))
+	for name, e := range r.entries {
+		entries[name] = e
+	}
+	return &Registry{entries: entries}
+}
+
+// Add registers an entry, failing with ErrExists on a duplicate name and
+// ErrInvalidEntry on an empty name or missing builder.
+func (r *Registry) Add(e Entry) error {
 	if e.Name == "" {
-		panic("models: register entry with empty name")
+		return fmt.Errorf("%w: empty name", ErrInvalidEntry)
 	}
 	if e.Build == nil {
-		panic(fmt.Sprintf("models: entry %q has no builder", e.Name))
+		return fmt.Errorf("%w: entry %q has no builder", ErrInvalidEntry, e.Name)
 	}
-	registryMu.Lock()
-	defer registryMu.Unlock()
-	if _, dup := registry[e.Name]; dup {
-		panic(fmt.Sprintf("models: duplicate registration of %q", e.Name))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.Name]; dup {
+		return fmt.Errorf("%w: %q", ErrExists, e.Name)
 	}
-	registry[e.Name] = e
+	r.entries[e.Name] = e
+	return nil
+}
+
+// Remove unregisters the named entry, reporting whether it was present.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return false
+	}
+	delete(r.entries, name)
+	return true
 }
 
 // Get returns the entry registered under name. The error lists the known
 // names so command-line mistakes are self-explanatory.
-func Get(name string) (Entry, error) {
-	registryMu.RLock()
-	e, ok := registry[name]
-	registryMu.RUnlock()
+func (r *Registry) Get(name string) (Entry, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
 	if !ok {
-		return Entry{}, fmt.Errorf("models: unknown model %q (known: %v)", name, Names())
+		return Entry{}, fmt.Errorf("models: unknown model %q (known: %v)", name, r.Names())
 	}
 	return e, nil
 }
 
 // Names returns all registered names, sorted.
-func Names() []string {
-	registryMu.RLock()
-	names := make([]string, 0, len(registry))
-	for name := range registry {
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
 		names = append(names, name)
 	}
-	registryMu.RUnlock()
+	r.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
@@ -123,27 +175,54 @@ func Names() []string {
 // NamesWithVocabulary returns the sorted names of entries registered with
 // the given vocabulary, so commands can present — and validate against —
 // exactly the subset a runtime layer can execute.
-func NamesWithVocabulary(vocabulary string) []string {
-	registryMu.RLock()
+func (r *Registry) NamesWithVocabulary(vocabulary string) []string {
+	r.mu.RLock()
 	var names []string
-	for name, e := range registry {
+	for name, e := range r.entries {
 		if e.Vocabulary == vocabulary {
 			names = append(names, name)
 		}
 	}
-	registryMu.RUnlock()
+	r.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
 // Build constructs the named model for a parameter value (<= 0 selects the
 // entry's default parameter).
-func Build(name string, param int) (core.Model, error) {
-	e, err := Get(name)
+func (r *Registry) Build(name string, param int) (core.Model, error) {
+	e, err := r.Get(name)
 	if err != nil {
 		return nil, err
 	}
 	return e.Model(param)
+}
+
+// Register adds an entry to the default registry. It panics on a duplicate
+// or empty name, which indicates a programming error at package
+// initialisation. It is safe for concurrent use with the lookup functions.
+func Register(e Entry) {
+	if err := defaultRegistry.Add(e); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Get returns the entry registered under name in the default registry.
+func Get(name string) (Entry, error) { return defaultRegistry.Get(name) }
+
+// Names returns all names registered in the default registry, sorted.
+func Names() []string { return defaultRegistry.Names() }
+
+// NamesWithVocabulary returns the default registry's sorted names of
+// entries registered with the given vocabulary.
+func NamesWithVocabulary(vocabulary string) []string {
+	return defaultRegistry.NamesWithVocabulary(vocabulary)
+}
+
+// Build constructs the named model from the default registry for a
+// parameter value (<= 0 selects the entry's default parameter).
+func Build(name string, param int) (core.Model, error) {
+	return defaultRegistry.Build(name, param)
 }
 
 func init() {

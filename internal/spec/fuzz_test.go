@@ -1,0 +1,62 @@
+package spec
+
+import (
+	"encoding/json"
+	"testing"
+
+	"asagen/internal/core"
+)
+
+// FuzzCompile exercises the POST /v1/models input path: arbitrary bytes
+// are decoded, validated and — when they survive both — instantiated and
+// fingerprinted. The target asserts the layer's safety contract: no input
+// may panic, every accepted document must compile deterministically, and
+// its canonical JSON must re-compile to the same model identity.
+//
+// Run locally with:
+//
+//	go test ./internal/spec -run='^$' -fuzz=FuzzCompile -fuzztime=30s
+func FuzzCompile(f *testing.F) {
+	seed, err := json.Marshal(terminationDoc())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"m","components":[{"name":"c","kind":"int","max":{"param":true}}],` +
+		`"messages":["GO"],"rules":[{"message":"GO","set":[{"component":"c","add":1}]}]}`))
+	f.Add([]byte(`{"name":"m","default_param":-3}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"name":"m","components":[],"messages":[],"rules":[]} `))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParseAndCompile(data)
+		if err != nil {
+			return // rejected input: the only requirement is not panicking
+		}
+		m, err := c.Model(0)
+		if err != nil {
+			return // e.g. a component max that is negative at the default
+		}
+		fp := core.FingerprintModel(m)
+
+		// Accepted documents must survive a canonicalisation round-trip
+		// with identical model identity (the re-registration path relies
+		// on this to detect changed specs by fingerprint).
+		canon, err := json.Marshal(c.Doc())
+		if err != nil {
+			t.Fatalf("canonicalise accepted doc: %v", err)
+		}
+		c2, err := ParseAndCompile(canon)
+		if err != nil {
+			t.Fatalf("canonical JSON of an accepted doc no longer compiles: %v\n%s", err, canon)
+		}
+		m2, err := c2.Model(0)
+		if err != nil {
+			t.Fatalf("canonical model rebuild: %v", err)
+		}
+		if fp2 := core.FingerprintModel(m2); fp2 != fp {
+			t.Fatalf("fingerprint changed across canonicalisation: %s -> %s", fp.Short(), fp2.Short())
+		}
+	})
+}

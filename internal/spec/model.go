@@ -1,0 +1,321 @@
+package spec
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"asagen/internal/core"
+	"asagen/internal/models"
+)
+
+// Compiled is a validated specification ready to instantiate core.Model
+// family members. It is immutable and safe for concurrent use.
+type Compiled struct {
+	doc Doc
+	// rulesByMsg indexes the rules per message, preserving document order
+	// (first matching rule fires).
+	rulesByMsg map[string][]Rule
+	// compIdx maps component names to their vector index.
+	compIdx map[string]int
+	// extra is the behavioural identity material folded into model
+	// fingerprints, so two specs that share declared structure but differ
+	// in rules never collide in the generation cache.
+	extra []string
+}
+
+// newCompiled indexes a validated document. Compile is the only caller.
+func newCompiled(d Doc) *Compiled {
+	c := &Compiled{
+		doc:        d,
+		rulesByMsg: make(map[string][]Rule, len(d.Messages)),
+		compIdx:    make(map[string]int, len(d.Components)),
+	}
+	for i, comp := range d.Components {
+		c.compIdx[comp.Name] = i
+	}
+	for _, r := range d.Rules {
+		c.rulesByMsg[r.Message] = append(c.rulesByMsg[r.Message], r)
+	}
+	// The canonical JSON of the whole document is deterministic (struct
+	// field order) and covers every behaviour-bearing field.
+	canon, err := json.Marshal(d)
+	if err != nil {
+		// A Doc is marshalable by construction; failure is a programming
+		// error, not an input error.
+		panic(fmt.Sprintf("spec: canonicalise %q: %v", d.Name, err))
+	}
+	c.extra = []string{"asagen/spec/v1", string(canon)}
+	return c
+}
+
+// Doc returns a copy of the compiled document.
+func (c *Compiled) Doc() Doc { return c.doc }
+
+// JSON returns the canonical JSON encoding of the compiled document — the
+// wire form of POST /v1/models and the fsmgen -spec file format.
+func (c *Compiled) JSON() ([]byte, error) {
+	return json.MarshalIndent(c.doc, "", "  ")
+}
+
+// Name returns the registry key the spec registers under.
+func (c *Compiled) Name() string { return c.doc.Name }
+
+// HasEFSM reports whether the spec declares the EFSM abstraction hints.
+func (c *Compiled) HasEFSM() bool { return c.doc.Abstraction != nil }
+
+// Model instantiates the family member for a parameter value (<= 0 selects
+// the spec's default parameter).
+func (c *Compiled) Model(param int) (core.Model, error) {
+	if param <= 0 {
+		param = c.doc.DefaultParam
+	}
+	if param < c.doc.MinParam {
+		return nil, fmt.Errorf("spec: model %q: %s %d < %d", c.doc.Name, c.doc.ParamName, param, c.doc.MinParam)
+	}
+	for i, comp := range c.doc.Components {
+		if comp.Kind == KindInt && comp.Max.Eval(param) < 0 {
+			return nil, fmt.Errorf("spec: model %q: component %q max %s is negative at %s %d",
+				c.doc.Name, comp.Name, comp.Max, c.doc.ParamName, param)
+		}
+		if i < len(c.doc.Start) {
+			if v := c.doc.Start[i].Eval(param); v < 0 || v > c.maxOf(comp, param) {
+				return nil, fmt.Errorf("spec: model %q: start value %s of component %q is outside [0, %d] at %s %d",
+					c.doc.Name, c.doc.Start[i], comp.Name, c.maxOf(comp, param), c.doc.ParamName, param)
+			}
+		}
+	}
+	return &specModel{c: c, param: param}, nil
+}
+
+// maxOf returns the component's largest legal value at the parameter.
+func (c *Compiled) maxOf(comp Component, param int) int {
+	if comp.Kind == KindBool {
+		return 1
+	}
+	return comp.Max.Eval(param)
+}
+
+// Entry returns the registry entry for the compiled spec, wiring the model
+// builder and — when the spec declares abstraction hints — the EFSM
+// generalisation into the same shape the hand-written adapters use.
+func (c *Compiled) Entry() models.Entry {
+	e := models.Entry{
+		Name:         c.doc.Name,
+		Description:  c.doc.Description,
+		ParamName:    c.doc.ParamName,
+		DefaultParam: c.doc.DefaultParam,
+		SweepParams:  append([]int(nil), c.doc.SweepParams...),
+		Vocabulary:   c.doc.Vocabulary,
+		Build:        c.Model,
+	}
+	if c.HasEFSM() {
+		e.EFSM = c.GenerateEFSM
+	}
+	return e
+}
+
+// GenerateEFSM generates the machine for the given parameter and coalesces
+// it into the parameter-independent EFSM under the spec's abstraction
+// hints, exactly as the hand-written GenerateEFSM builders do.
+func (c *Compiled) GenerateEFSM(ctx context.Context, param int) (*core.EFSM, error) {
+	if !c.HasEFSM() {
+		return nil, fmt.Errorf("spec: model %q declares no abstraction", c.doc.Name)
+	}
+	m, err := c.Model(param)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := core.Generate(ctx, m, core.WithoutDescriptions())
+	if err != nil {
+		return nil, fmt.Errorf("spec: generate machine for %q: %w", c.doc.Name, err)
+	}
+	return core.GeneralizeEFSM(machine, &specAbstraction{c: c, param: param})
+}
+
+// specModel is one family member of a compiled spec: core.Model plus the
+// Fingerprinter extra identifying the rule set.
+type specModel struct {
+	c     *Compiled
+	param int
+}
+
+var (
+	_ core.Model         = (*specModel)(nil)
+	_ core.Fingerprinter = (*specModel)(nil)
+)
+
+// Name implements core.Model.
+func (m *specModel) Name() string { return m.c.doc.ModelName }
+
+// Parameter implements core.Model.
+func (m *specModel) Parameter() int { return m.param }
+
+// Components implements core.Model.
+func (m *specModel) Components() []core.StateComponent {
+	out := make([]core.StateComponent, len(m.c.doc.Components))
+	for i, comp := range m.c.doc.Components {
+		if comp.Kind == KindBool {
+			out[i] = core.NewBoolComponent(comp.Name)
+		} else {
+			out[i] = core.NewIntComponent(comp.Name, comp.Max.Eval(m.param))
+		}
+	}
+	return out
+}
+
+// Messages implements core.Model.
+func (m *specModel) Messages() []string {
+	return append([]string(nil), m.c.doc.Messages...)
+}
+
+// Start implements core.Model.
+func (m *specModel) Start() core.Vector {
+	v := make(core.Vector, len(m.c.doc.Components))
+	for i, val := range m.c.doc.Start {
+		v[i] = val.Eval(m.param)
+	}
+	return v
+}
+
+// holds reports whether every condition is satisfied in state v.
+func (m *specModel) holds(v core.Vector, conds []Cond) bool {
+	for _, c := range conds {
+		idx := m.c.compIdx[c.Component]
+		if !condHolds(c.Op, v[idx], c.Value.Eval(m.param)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply implements core.Model: the message's rules are tried in document
+// order and the first rule whose guards all hold fires. A firing rule
+// whose effect would drive any component outside its declared domain
+// makes the message not applicable in that state instead — the implicit
+// range guard that keeps every expressible spec a total, well-formed
+// model (the paper's InvalidStateException path, Fig. 10): authors may
+// write an unguarded counter increment and the machine simply stops
+// reacting at the bound.
+func (m *specModel) Apply(v core.Vector, msg string) (core.Effect, bool) {
+	for _, r := range m.c.rulesByMsg[msg] {
+		if !m.holds(v, r.When) {
+			continue
+		}
+		s := v.Clone()
+		for _, a := range r.Set {
+			idx := m.c.compIdx[a.Component]
+			if a.Set != nil {
+				s[idx] = a.Set.Eval(m.param)
+			} else {
+				s[idx] += a.Add
+			}
+			if s[idx] < 0 || s[idx] > m.c.maxOf(m.c.doc.Components[idx], m.param) {
+				return core.Effect{}, false
+			}
+		}
+		return core.Effect{
+			Target:      s,
+			Actions:     append([]string(nil), r.Actions...),
+			Annotations: append([]string(nil), r.Annotations...),
+			Finished:    r.Finish,
+		}, true
+	}
+	return core.Effect{}, false
+}
+
+// DescribeState implements core.Model: every matching describe rule
+// contributes one line, with "{param}" and "{<component>}" placeholders
+// substituted.
+func (m *specModel) DescribeState(v core.Vector) []string {
+	var lines []string
+	for _, r := range m.c.doc.Describe {
+		if !m.holds(v, r.When) {
+			continue
+		}
+		lines = append(lines, m.expand(r.Text, v))
+	}
+	return lines
+}
+
+// expand substitutes the documentation placeholders in text.
+func (m *specModel) expand(text string, v core.Vector) string {
+	if !strings.Contains(text, "{") {
+		return text
+	}
+	text = strings.ReplaceAll(text, "{param}", strconv.Itoa(m.param))
+	for name, idx := range m.c.compIdx {
+		key := "{" + name + "}"
+		if strings.Contains(text, key) {
+			text = strings.ReplaceAll(text, key, strconv.Itoa(v[idx]))
+		}
+	}
+	return text
+}
+
+// FingerprintExtra implements core.Fingerprinter: the canonical document
+// JSON, so behaviourally different specs never collide on one cache entry
+// even when their declared structure matches.
+func (m *specModel) FingerprintExtra() []string { return m.c.extra }
+
+// specAbstraction adapts the spec's abstraction hints to
+// core.EFSMAbstraction.
+type specAbstraction struct {
+	c     *Compiled
+	param int
+}
+
+var _ core.EFSMAbstraction = (*specAbstraction)(nil)
+
+// StateLabel implements core.EFSMAbstraction: first matching label rule
+// wins; validation guarantees the final rule is unconditional.
+func (a *specAbstraction) StateLabel(v core.Vector) string {
+	for _, l := range a.c.doc.Abstraction.Labels {
+		ok := true
+		for _, cond := range l.When {
+			idx := a.c.compIdx[cond.Component]
+			if !condHolds(cond.Op, v[idx], cond.Value.Eval(a.param)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return l.Label
+		}
+	}
+	return "UNLABELLED" // unreachable: the final rule is unconditional
+}
+
+// GuardComponent implements core.EFSMAbstraction.
+func (a *specAbstraction) GuardComponent(msg string) int {
+	for _, g := range a.c.doc.Abstraction.Guards {
+		if g.Message == msg {
+			return a.c.compIdx[g.Component]
+		}
+	}
+	return -1
+}
+
+// VarOps implements core.EFSMAbstraction.
+func (a *specAbstraction) VarOps(msg string) []core.VarOp {
+	var ops []core.VarOp
+	for _, op := range a.c.doc.Abstraction.Ops {
+		if op.Message == msg {
+			ops = append(ops, core.VarOp{Variable: op.Component, Delta: op.Delta})
+		}
+	}
+	return ops
+}
+
+// Symbol implements core.EFSMAbstraction: the first symbol rule whose
+// value matches wins; unmatched values keep the literal rendering.
+func (a *specAbstraction) Symbol(component, value int) string {
+	for _, s := range a.c.doc.Abstraction.Symbols {
+		if s.Value.Eval(a.param) == value {
+			return s.Text
+		}
+	}
+	return ""
+}

@@ -1,0 +1,514 @@
+// Package spec implements the declarative model-authoring layer: a
+// JSON-serialisable document describing a parameterised scenario — state
+// components, message vocabulary, guarded transition rules, state
+// documentation and optional EFSM abstraction hints — that compiles into a
+// core.Model. The paper's central claim is that fault-tolerant state
+// machines should be generated from compact parameterised specifications
+// (§3); this package makes the specification itself data, so new scenarios
+// can be registered at runtime through the SDK, the wire API or a command
+// flag instead of being hand-written Go adapters inside internal/.
+//
+// A Doc is deliberately a small total language, not a general-purpose one:
+// integer values are at most parameter-affine (offset + parameter), guards
+// are conjunctions of component comparisons, and effects are component
+// assignments and increments. Everything a Doc can express terminates and
+// is deterministic, which keeps the Model contract (side-effect-free,
+// deterministic Apply) true by construction.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Value is a possibly parameter-affine integer: Offset, plus the model
+// parameter when Param is set. It is the only numeric expression form in a
+// spec, so specs stay trivially total and analysable.
+type Value struct {
+	Param  bool `json:"param,omitempty"`
+	Offset int  `json:"offset,omitempty"`
+}
+
+// Lit returns the constant value n.
+func Lit(n int) Value { return Value{Offset: n} }
+
+// ParamValue returns the value of the model parameter plus offset.
+func ParamValue(offset int) Value { return Value{Param: true, Offset: offset} }
+
+// Eval resolves the value for a concrete parameter.
+func (v Value) Eval(param int) int {
+	if v.Param {
+		return param + v.Offset
+	}
+	return v.Offset
+}
+
+// String renders the value symbolically ("p+1", "3").
+func (v Value) String() string {
+	if !v.Param {
+		return fmt.Sprintf("%d", v.Offset)
+	}
+	switch {
+	case v.Offset == 0:
+		return "p"
+	case v.Offset > 0:
+		return fmt.Sprintf("p+%d", v.Offset)
+	default:
+		return fmt.Sprintf("p%d", v.Offset)
+	}
+}
+
+// Component kinds.
+const (
+	KindBool = "bool"
+	KindInt  = "int"
+)
+
+// Component declares one dimension of the state space.
+type Component struct {
+	// Name identifies the component, e.g. "outstanding".
+	Name string `json:"name"`
+	// Kind is KindBool or KindInt.
+	Kind string `json:"kind"`
+	// Max is the largest legal value of an int component (inclusive); it
+	// may be parameter-affine. Ignored for bool components.
+	Max Value `json:"max,omitempty"`
+}
+
+// Comparison operators usable in conditions.
+const (
+	OpEq = "=="
+	OpNe = "!="
+	OpLt = "<"
+	OpLe = "<="
+	OpGt = ">"
+	OpGe = ">="
+)
+
+var validOps = map[string]bool{OpEq: true, OpNe: true, OpLt: true, OpLe: true, OpGt: true, OpGe: true}
+
+// Cond compares one component against a value.
+type Cond struct {
+	Component string `json:"component"`
+	Op        string `json:"op"`
+	Value     Value  `json:"value"`
+}
+
+// holds evaluates the condition against a component value.
+func condHolds(op string, have, want int) bool {
+	switch op {
+	case OpEq:
+		return have == want
+	case OpNe:
+		return have != want
+	case OpLt:
+		return have < want
+	case OpLe:
+		return have <= want
+	case OpGt:
+		return have > want
+	case OpGe:
+		return have >= want
+	}
+	return false
+}
+
+// Assign updates one component: Set overwrites with a value, otherwise Add
+// is added to the current value.
+type Assign struct {
+	Component string `json:"component"`
+	Set       *Value `json:"set,omitempty"`
+	Add       int    `json:"add,omitempty"`
+}
+
+// Rule is one guarded transition reaction. For each message the rules are
+// tried in document order and the first rule whose conditions all hold
+// fires; a message with no matching rule is not applicable in that state
+// (the paper's InvalidStateException path, Fig. 10).
+type Rule struct {
+	// Message names the received message the rule reacts to.
+	Message string `json:"message"`
+	// When are the guard conditions, all of which must hold.
+	When []Cond `json:"when,omitempty"`
+	// Set are the component updates applied, in order.
+	Set []Assign `json:"set,omitempty"`
+	// Actions are the outgoing messages performed, e.g. "->vote".
+	Actions []string `json:"actions,omitempty"`
+	// Annotations document the reaction in generated artefacts.
+	Annotations []string `json:"annotations,omitempty"`
+	// Finish marks a transition into the synthetic finish state.
+	Finish bool `json:"finish,omitempty"`
+}
+
+// DescribeRule contributes one line of per-state documentation when its
+// conditions hold. The text may reference "{param}" and "{<component>}"
+// placeholders, substituted with the concrete values.
+type DescribeRule struct {
+	When []Cond `json:"when,omitempty"`
+	Text string `json:"text"`
+}
+
+// LabelRule maps concrete states to an abstract EFSM state label; the
+// first rule whose conditions hold wins. The final rule must be
+// unconditional so every state has a label.
+type LabelRule struct {
+	When  []Cond `json:"when,omitempty"`
+	Label string `json:"label"`
+}
+
+// GuardRule names the counter component whose value selects among a
+// message's outcomes during EFSM generalisation.
+type GuardRule struct {
+	Message   string `json:"message"`
+	Component string `json:"component"`
+}
+
+// VarOpRule declares the counter update an EFSM transition performs when
+// the message is received.
+type VarOpRule struct {
+	Message   string `json:"message"`
+	Component string `json:"component"`
+	Delta     int    `json:"delta"`
+}
+
+// SymbolRule renders a concrete counter value as a parameter-independent
+// expression in EFSM guards; the first rule whose value matches wins, and
+// unmatched values render as literals.
+type SymbolRule struct {
+	Value Value  `json:"value"`
+	Text  string `json:"text"`
+}
+
+// Abstraction is the optional EFSM generalisation hint set (§5.3): how to
+// label coalesced states, which counters guard which messages, the counter
+// updates, and the symbolic rendering of guard bounds.
+type Abstraction struct {
+	Labels  []LabelRule  `json:"labels"`
+	Guards  []GuardRule  `json:"guards,omitempty"`
+	Ops     []VarOpRule  `json:"ops,omitempty"`
+	Symbols []SymbolRule `json:"symbols,omitempty"`
+}
+
+// Doc is the declarative model specification. Its JSON encoding is the
+// wire format of POST /v1/models and the fsmgen -spec file format.
+type Doc struct {
+	// Name is the registry key the model is registered under.
+	Name string `json:"name"`
+	// ModelName is the model identity stamped on generated machines and
+	// artefacts; it defaults to Name.
+	ModelName string `json:"model_name,omitempty"`
+	// Description is a one-line scenario summary.
+	Description string `json:"description,omitempty"`
+	// ParamName names the model parameter, e.g. "fan-out bound".
+	ParamName string `json:"param_name,omitempty"`
+	// DefaultParam is the parameter used when a request passes none; it
+	// defaults to 1.
+	DefaultParam int `json:"default_param,omitempty"`
+	// MinParam is the smallest accepted parameter value; it defaults to 1.
+	MinParam int `json:"min_param,omitempty"`
+	// SweepParams are representative parameter values, ascending.
+	SweepParams []int `json:"sweep_params,omitempty"`
+	// Vocabulary optionally names the message vocabulary for runtime
+	// layers (see models.Entry.Vocabulary).
+	Vocabulary string `json:"vocabulary,omitempty"`
+	// Components declare the state space dimensions, in state-name order.
+	Components []Component `json:"components"`
+	// Messages list the receivable message types, in canonical order.
+	Messages []string `json:"messages"`
+	// Start optionally overrides the all-zero start vector, one value per
+	// component.
+	Start []Value `json:"start,omitempty"`
+	// Rules are the guarded transition reactions.
+	Rules []Rule `json:"rules"`
+	// Describe are the per-state documentation rules.
+	Describe []DescribeRule `json:"describe,omitempty"`
+	// Abstraction optionally enables the EFSM formats.
+	Abstraction *Abstraction `json:"abstraction,omitempty"`
+}
+
+// Diagnostic is one validation finding, addressed by a JSON-path-like
+// location inside the document.
+type Diagnostic struct {
+	// Path locates the offending field, e.g. "rules[2].when[0].component".
+	Path string `json:"path"`
+	// Message explains the problem.
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string { return d.Path + ": " + d.Message }
+
+// Error is the typed compilation failure: every problem found in the
+// document, not just the first.
+type Error struct {
+	// Name echoes the spec name, possibly empty.
+	Name string
+	// Diagnostics lists the problems in document order.
+	Diagnostics []Diagnostic
+}
+
+// Error implements error, naming each diagnostic.
+func (e *Error) Error() string {
+	parts := make([]string, len(e.Diagnostics))
+	for i, d := range e.Diagnostics {
+		parts[i] = d.String()
+	}
+	name := e.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	return fmt.Sprintf("spec: invalid model spec %s: %s", name, strings.Join(parts, "; "))
+}
+
+// Parse decodes a JSON document strictly: unknown fields are rejected so
+// misspelt keys surface as errors rather than silently missing semantics.
+func Parse(data []byte) (Doc, error) {
+	var d Doc
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return Doc{}, fmt.Errorf("spec: parse: %w", err)
+	}
+	// Trailing garbage after the document is a malformed payload too.
+	if dec.More() {
+		return Doc{}, fmt.Errorf("spec: parse: trailing data after document")
+	}
+	return d, nil
+}
+
+// diags accumulates diagnostics during validation.
+type diags struct {
+	list []Diagnostic
+}
+
+func (d *diags) add(path, format string, args ...any) {
+	d.list = append(d.list, Diagnostic{Path: path, Message: fmt.Sprintf(format, args...)})
+}
+
+// isName reports whether s is usable as a registry key / URL path segment:
+// it must start with a letter and continue with letters, digits, '-', '_'
+// or '.'.
+func isName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case i > 0 && (r >= '0' && r <= '9' || r == '-' || r == '_' || r == '.'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Compile validates the document and returns the executable compiled form.
+// All problems are reported together through *Error.
+func Compile(d Doc) (*Compiled, error) {
+	var diag diags
+
+	if !isName(d.Name) {
+		diag.add("name", "must start with a letter and contain only letters, digits, '-', '_' or '.' (got %q)", d.Name)
+	}
+	if d.ModelName == "" {
+		d.ModelName = d.Name
+	}
+	if d.MinParam == 0 {
+		d.MinParam = 1
+	}
+	if d.MinParam < 1 {
+		diag.add("min_param", "must be >= 1 (got %d)", d.MinParam)
+	}
+	if d.DefaultParam == 0 {
+		d.DefaultParam = d.MinParam
+	}
+	if d.DefaultParam < d.MinParam {
+		diag.add("default_param", "must be >= min_param %d (got %d)", d.MinParam, d.DefaultParam)
+	}
+	if d.ParamName == "" {
+		d.ParamName = "parameter"
+	}
+	for i, p := range d.SweepParams {
+		if p < d.MinParam {
+			diag.add(fmt.Sprintf("sweep_params[%d]", i), "parameter %d < min_param %d", p, d.MinParam)
+		}
+	}
+
+	// Components.
+	compIdx := map[string]int{}
+	if len(d.Components) == 0 {
+		diag.add("components", "at least one state component is required")
+	}
+	for i, c := range d.Components {
+		path := fmt.Sprintf("components[%d]", i)
+		if c.Name == "" {
+			diag.add(path+".name", "component name must not be empty")
+		} else if _, dup := compIdx[c.Name]; dup {
+			diag.add(path+".name", "duplicate component %q", c.Name)
+		} else {
+			compIdx[c.Name] = i
+		}
+		switch c.Kind {
+		case KindBool:
+		case KindInt:
+			if max := c.Max.Eval(d.DefaultParam); max < 0 {
+				diag.add(path+".max", "component %q max %s is negative at the default parameter %d", c.Name, c.Max, d.DefaultParam)
+			}
+		default:
+			diag.add(path+".kind", "unknown kind %q (want %q or %q)", c.Kind, KindBool, KindInt)
+		}
+	}
+
+	// Messages.
+	msgSet := map[string]bool{}
+	if len(d.Messages) == 0 {
+		diag.add("messages", "at least one message is required")
+	}
+	for i, m := range d.Messages {
+		path := fmt.Sprintf("messages[%d]", i)
+		if strings.TrimSpace(m) == "" {
+			diag.add(path, "message name must not be blank")
+			continue
+		}
+		if msgSet[m] {
+			diag.add(path, "duplicate message %q", m)
+		}
+		msgSet[m] = true
+	}
+
+	// Start vector.
+	if len(d.Start) != 0 && len(d.Start) != len(d.Components) {
+		diag.add("start", "got %d values for %d components", len(d.Start), len(d.Components))
+	}
+	if len(d.Start) == len(d.Components) {
+		for i, v := range d.Start {
+			comp := d.Components[i]
+			max := 1
+			switch comp.Kind {
+			case KindBool:
+			case KindInt:
+				max = comp.Max.Eval(d.DefaultParam)
+			default:
+				continue // the kind diagnostic above covers it
+			}
+			if got := v.Eval(d.DefaultParam); got < 0 || got > max {
+				diag.add(fmt.Sprintf("start[%d]", i),
+					"value %s of component %q is outside [0, %d] at the default parameter %d",
+					v, comp.Name, max, d.DefaultParam)
+			}
+		}
+	}
+
+	checkCond := func(path string, c Cond) {
+		if _, ok := compIdx[c.Component]; !ok {
+			diag.add(path+".component", "unknown component %q", c.Component)
+		}
+		if !validOps[c.Op] {
+			diag.add(path+".op", "unknown operator %q", c.Op)
+		}
+	}
+	checkConds := func(path string, cs []Cond) {
+		for i, c := range cs {
+			checkCond(fmt.Sprintf("%s.when[%d]", path, i), c)
+		}
+	}
+
+	// Rules.
+	if len(d.Rules) == 0 {
+		diag.add("rules", "at least one rule is required")
+	}
+	for i, r := range d.Rules {
+		path := fmt.Sprintf("rules[%d]", i)
+		if !msgSet[r.Message] {
+			diag.add(path+".message", "unknown message %q", r.Message)
+		}
+		checkConds(path, r.When)
+		for j, a := range r.Set {
+			apath := fmt.Sprintf("%s.set[%d]", path, j)
+			if _, ok := compIdx[a.Component]; !ok {
+				diag.add(apath+".component", "unknown component %q", a.Component)
+			}
+			if a.Set != nil && a.Add != 0 {
+				diag.add(apath, "set and add are mutually exclusive")
+			}
+			if a.Set == nil && a.Add == 0 {
+				diag.add(apath, "one of set or add is required")
+			}
+		}
+		for j, act := range r.Actions {
+			if strings.TrimSpace(act) == "" {
+				diag.add(fmt.Sprintf("%s.actions[%d]", path, j), "action must not be blank")
+			}
+		}
+	}
+
+	// Describe rules.
+	for i, r := range d.Describe {
+		path := fmt.Sprintf("describe[%d]", i)
+		if r.Text == "" {
+			diag.add(path+".text", "text must not be empty")
+		}
+		checkConds(path, r.When)
+	}
+
+	// Abstraction.
+	if a := d.Abstraction; a != nil {
+		if len(a.Labels) == 0 {
+			diag.add("abstraction.labels", "at least one label rule is required")
+		} else {
+			last := a.Labels[len(a.Labels)-1]
+			if len(last.When) != 0 {
+				diag.add("abstraction.labels", "the final label rule must be unconditional so every state has a label")
+			}
+		}
+		for i, l := range a.Labels {
+			path := fmt.Sprintf("abstraction.labels[%d]", i)
+			if l.Label == "" {
+				diag.add(path+".label", "label must not be empty")
+			}
+			checkConds(path, l.When)
+		}
+		for i, g := range a.Guards {
+			path := fmt.Sprintf("abstraction.guards[%d]", i)
+			if !msgSet[g.Message] {
+				diag.add(path+".message", "unknown message %q", g.Message)
+			}
+			if _, ok := compIdx[g.Component]; !ok {
+				diag.add(path+".component", "unknown component %q", g.Component)
+			}
+		}
+		for i, op := range a.Ops {
+			path := fmt.Sprintf("abstraction.ops[%d]", i)
+			if !msgSet[op.Message] {
+				diag.add(path+".message", "unknown message %q", op.Message)
+			}
+			if _, ok := compIdx[op.Component]; !ok {
+				diag.add(path+".component", "unknown component %q", op.Component)
+			}
+			if op.Delta == 0 {
+				diag.add(path+".delta", "delta must not be zero")
+			}
+		}
+		for i, s := range a.Symbols {
+			if s.Text == "" {
+				diag.add(fmt.Sprintf("abstraction.symbols[%d].text", i), "text must not be empty")
+			}
+		}
+	}
+
+	if len(diag.list) > 0 {
+		return nil, &Error{Name: d.Name, Diagnostics: diag.list}
+	}
+	return newCompiled(d), nil
+}
+
+// ParseAndCompile decodes and compiles a JSON document in one step.
+func ParseAndCompile(data []byte) (*Compiled, error) {
+	d, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(d)
+}

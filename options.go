@@ -14,6 +14,7 @@ type ClientOption func(*clientConfig)
 type clientConfig struct {
 	jobs       int
 	cacheLimit int
+	isolated   bool
 	genOpts    []GenerateOption
 }
 
@@ -29,6 +30,15 @@ func WithJobs(n int) ClientOption {
 // unbounded parameter stream cannot grow memory without bound.
 func WithCacheLimit(n int) ClientOption {
 	return func(c *clientConfig) { c.cacheLimit = n }
+}
+
+// WithIsolatedRegistry gives the client its own clone of the scenario
+// registry (seeded with the built-in models), so RegisterModel and
+// UnregisterModel never affect — and are never affected by — other
+// clients in the process. Long-running multi-tenant services should
+// isolate; short-lived tools may prefer the shared default.
+func WithIsolatedRegistry() ClientOption {
+	return func(c *clientConfig) { c.isolated = true }
 }
 
 // WithGenerateOptions applies generation options to every machine the
