@@ -17,9 +17,15 @@ package asagen_test
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
 	"testing"
+	"time"
 
 	"asagen"
+	"asagen/internal/api"
 	"asagen/internal/artifact"
 	"asagen/internal/chord"
 	"asagen/internal/commit"
@@ -30,6 +36,7 @@ import (
 	"asagen/internal/render"
 	"asagen/internal/runtime"
 	"asagen/internal/simnet"
+	"asagen/internal/spec"
 	"asagen/internal/storage"
 	"asagen/internal/termination"
 	"asagen/internal/version"
@@ -648,4 +655,201 @@ func BenchmarkGenerateSpecModel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// regenDoc is the incremental-regeneration benchmark model: four bounded
+// counters with increment/decrement messages plus a finish rule, so the
+// transition function spreads over nine messages and a one-rule edit
+// invalidates only one effect column. Each message carries a tail of
+// more-specific rules (single-state carve-outs, as large hand-tuned
+// protocol specs accumulate), so evaluating the transition function is
+// the dominant cost of exploration.
+func regenDoc(param int, finishActions []string) spec.Doc {
+	d := spec.Doc{
+		Name:         "regen-bench",
+		DefaultParam: param,
+	}
+	var when []spec.Cond
+	var start []spec.Value
+	carveOuts := func(name string) []spec.Rule {
+		out := make([]spec.Rule, 0, 56)
+		for k := 0; k < 56; k++ {
+			out = append(out, spec.Rule{
+				Message: name,
+				When: []spec.Cond{
+					{Component: "c0", Op: spec.OpEq, Value: spec.Lit(k % (param + 1))},
+					{Component: "c1", Op: spec.OpEq, Value: spec.Lit((k + 3) % (param + 1))},
+					{Component: "c2", Op: spec.OpEq, Value: spec.Lit((k + 5) % (param + 1))},
+					{Component: "c3", Op: spec.OpEq, Value: spec.Lit((k + 7) % (param + 1))},
+				},
+				Actions: []string{fmt.Sprintf("->carve%d", k)},
+			})
+		}
+		return out
+	}
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("c%d", i)
+		d.Components = append(d.Components, spec.Component{
+			Name: name, Kind: spec.KindInt, Max: spec.ParamValue(0),
+		})
+		d.Messages = append(d.Messages, fmt.Sprintf("INC%d", i), fmt.Sprintf("DEC%d", i))
+		inc, dec := fmt.Sprintf("INC%d", i), fmt.Sprintf("DEC%d", i)
+		d.Rules = append(d.Rules, carveOuts(inc)...)
+		d.Rules = append(d.Rules, spec.Rule{
+			Message: inc,
+			When:    []spec.Cond{{Component: name, Op: spec.OpLt, Value: spec.ParamValue(0)}},
+			Set:     []spec.Assign{{Component: name, Add: 1}},
+		})
+		d.Rules = append(d.Rules, carveOuts(dec)...)
+		d.Rules = append(d.Rules, spec.Rule{
+			Message: dec,
+			When:    []spec.Cond{{Component: name, Op: spec.OpGt, Value: spec.Lit(0)}},
+			Set:     []spec.Assign{{Component: name, Add: -1}},
+		})
+		when = append(when, spec.Cond{Component: name, Op: spec.OpEq, Value: spec.ParamValue(0)})
+		start = append(start, spec.Lit(0))
+	}
+	d.Messages = append(d.Messages, "FIN")
+	d.Rules = append(d.Rules, spec.Rule{
+		Message: "FIN", When: when, Actions: finishActions, Finish: true,
+	})
+	d.Start = start
+	return d
+}
+
+// BenchmarkRegenerateDelta measures incremental regeneration after a
+// one-rule edit against from-scratch generation of the edited model. The
+// incremental path recomputes one effect column out of nine and rebuilds;
+// from-scratch re-applies every message in every state and re-interns the
+// whole space. Merging is disabled on both sides (as in
+// BenchmarkGenerateFrontier) so the comparison isolates exploration cost.
+// Fingerprint equality is pinned before the timed loops so the speedup
+// can never come from producing a different machine.
+func BenchmarkRegenerateDelta(b *testing.B) {
+	const param = 7
+	compileModel := func(d spec.Doc) core.Model {
+		c, err := spec.Compile(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := c.Model(param)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	oldDoc := regenDoc(param, []string{"->done"})
+	newDoc := regenDoc(param, []string{"->done", "->notify"})
+	oldCompiled, err := spec.Compile(oldDoc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	newCompiled, err := spec.Compile(newDoc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	delta := spec.Diff(oldCompiled.Doc(), newCompiled.Doc())
+	if delta.IsFull() || len(delta.Messages) != 1 {
+		b.Fatalf("delta = %+v, want exactly one affected message", delta)
+	}
+
+	ctx := context.Background()
+	genOpts := []core.Option{core.WithoutDescriptions(), core.WithoutMerging()}
+	oldModel, newModel := compileModel(oldDoc), compileModel(newDoc)
+	oldMachine, err := core.Generate(ctx, oldModel, genOpts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := core.Generate(ctx, newModel, genOpts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Fingerprint equality is pinned here, outside the timed loops, so
+	// the timing compares pure regeneration against pure generation.
+	pinned, err := core.Regenerate(ctx, oldMachine, newModel, delta, genOpts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if pinned.Fingerprint() != want.Fingerprint() {
+		b.Fatalf("incremental fingerprint %s != from-scratch %s",
+			pinned.Fingerprint(), want.Fingerprint())
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Regenerate(ctx, oldMachine, newModel, delta, genOpts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("from-scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Generate(ctx, newModel, genOpts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServeArtifact measures end-to-end serve-path latency through a
+// real HTTP round trip: client connection, routing, pipeline lookup,
+// rendering and caching headers. "cold" purges the pipeline before every
+// request so each one pays generation and rendering; "warm" measures the
+// fully memoised steady state. Per-request latencies are sorted and the
+// p50/p99 quantiles reported alongside ns/op.
+func BenchmarkServeArtifact(b *testing.B) {
+	const path = "/v1/models/commit/artifacts/text?r=7"
+	serve := func(b *testing.B, ts *httptest.Server) time.Duration {
+		b.Helper()
+		begin := time.Now()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		return time.Since(begin)
+	}
+	reportQuantiles := func(b *testing.B, lat []time.Duration) {
+		b.Helper()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		b.ReportMetric(float64(lat[len(lat)/2]), "p50-ns")
+		b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns")
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		p := artifact.New()
+		ts := httptest.NewServer(api.NewHandler(p))
+		defer ts.Close()
+		lat := make([]time.Duration, 0, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p.Purge()
+			b.StartTimer()
+			lat = append(lat, serve(b, ts))
+		}
+		reportQuantiles(b, lat)
+	})
+	b.Run("warm", func(b *testing.B) {
+		ts := httptest.NewServer(api.NewHandler(artifact.New()))
+		defer ts.Close()
+		serve(b, ts)
+		lat := make([]time.Duration, 0, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lat = append(lat, serve(b, ts))
+		}
+		reportQuantiles(b, lat)
+	})
 }

@@ -12,6 +12,7 @@ import (
 	"asagen/internal/core"
 	"asagen/internal/models"
 	"asagen/internal/render"
+	"asagen/internal/spec"
 )
 
 // VocabularyCommit marks models whose generated machines react to the
@@ -91,6 +92,10 @@ type Stats struct {
 	// single generation.
 	Generations          int64
 	CancelledGenerations int64
+	// IncrementalGenerations counts generations satisfied by patching a
+	// previously cached machine after UpdateModel, rather than exploring
+	// from scratch. They also count as Generations.
+	IncrementalGenerations int64
 	// CacheHits/CacheMisses/CacheEvictions report the machine cache;
 	// CachedMachines is its current size.
 	CacheHits, CacheMisses, CacheEvictions int64
@@ -234,7 +239,7 @@ func (c *Client) Generate(ctx context.Context, model string, opts ...GenerateOpt
 	case key == "":
 		cache := c.pipeline.Cache()
 		fp = cache.Fingerprint(m)
-		c.pipeline.TrackFingerprint(entry.Name, fp)
+		c.pipeline.TrackFingerprint(entry.Name, param, fp)
 		machine, err = cache.MachineForFingerprint(ctx, fp, m)
 	default:
 		cache := c.cacheFor(key, effOpts)
@@ -267,6 +272,34 @@ func (c *Client) RegisterModel(s *ModelSpec) error {
 		if errors.Is(err, models.ErrExists) {
 			return wrapSentinel(ErrModelExists, err)
 		}
+		return wrapSentinel(ErrInvalidSpec, err)
+	}
+	return nil
+}
+
+// UpdateModel compiles the spec and registers or replaces it on the
+// client's registry in place, like PUT /v1/models/{model}. Unlike
+// RegisterModel, a taken name is not a conflict: the existing entry is
+// replaced, its stale EFSMs and rendered artefacts are purged, and — when
+// the previous entry came from a declarative spec whose structure the new
+// spec preserves — every previously generated family member is linked so
+// its next generation patches the cached machine's exploration
+// incrementally (see spec.Diff and core.Regenerate) instead of exploring
+// from scratch. It fails with ErrInvalidSpec when the spec does not
+// compile.
+func (c *Client) UpdateModel(s *ModelSpec) error {
+	compiled, err := s.compile()
+	if err != nil {
+		return err
+	}
+	entry := compiled.Entry()
+	delta := core.ModelDelta{Full: true}
+	if old, err := c.reg.Get(entry.Name); err == nil {
+		if oldDoc, ok := old.Spec.(spec.Doc); ok {
+			delta = spec.Diff(oldDoc, compiled.Doc())
+		}
+	}
+	if _, err := c.pipeline.UpdateModel(entry, delta); err != nil {
 		return wrapSentinel(ErrInvalidSpec, err)
 	}
 	return nil
@@ -391,14 +424,15 @@ func (c *Client) AllRequests() []Request {
 func (c *Client) Stats() Stats {
 	st := c.pipeline.Stats()
 	out := Stats{
-		Generations:          st.Machine.Generations,
-		CancelledGenerations: st.Machine.Cancellations,
-		CacheHits:            st.Machine.Hits,
-		CacheMisses:          st.Machine.Misses,
-		CacheEvictions:       st.Machine.Evictions,
-		CachedMachines:       st.Machine.Entries,
-		RenderHits:           st.RenderHits,
-		RenderMisses:         st.RenderMisses,
+		Generations:            st.Machine.Generations,
+		CancelledGenerations:   st.Machine.Cancellations,
+		IncrementalGenerations: st.Machine.Incremental,
+		CacheHits:              st.Machine.Hits,
+		CacheMisses:            st.Machine.Misses,
+		CacheEvictions:         st.Machine.Evictions,
+		CachedMachines:         st.Machine.Entries,
+		RenderHits:             st.RenderHits,
+		RenderMisses:           st.RenderMisses,
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -406,6 +440,7 @@ func (c *Client) Stats() Stats {
 		cs := cache.Stats()
 		out.Generations += cs.Generations
 		out.CancelledGenerations += cs.Cancellations
+		out.IncrementalGenerations += cs.Incremental
 		out.CacheHits += cs.Hits
 		out.CacheMisses += cs.Misses
 		out.CacheEvictions += cs.Evictions

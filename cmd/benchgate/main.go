@@ -12,7 +12,7 @@
 //	benchgate -parse bench.txt -o BENCH_current.json
 //
 // Compare mode fails (exit 1) when any benchmark present in both files
-// regressed in ns/op by more than the threshold percentage:
+// regressed in ns/op or allocs/op by more than the threshold percentage:
 //
 //	benchgate -baseline BENCH_baseline.json -current BENCH_current.json -max-regression 25
 //
@@ -21,7 +21,11 @@
 // touching the baseline in the same change. Benchmarks faster than
 // -min-ns on both sides are likewise informational: at -benchtime=3x a
 // sub-microsecond benchmark measures three iterations against the timer
-// quantum, which is quantization noise, not signal.
+// quantum, which is quantization noise, not signal. Allocation counts are
+// gated only when both sides report them (-benchmem or b.ReportAllocs)
+// and the baseline is at least -min-allocs: unlike timings, allocs/op is
+// deterministic, but at single-digit counts one incidental allocation is
+// a large percentage without being a meaningful regression.
 package main
 
 import (
@@ -73,6 +77,7 @@ func run(args []string, stdout io.Writer) error {
 		current   = fs.String("current", "", "current JSON for -compare mode")
 		threshold = fs.Float64("max-regression", 25, "maximum tolerated ns/op regression, percent")
 		minNs     = fs.Float64("min-ns", 10000, "noise floor: benchmarks under this ns/op on both sides never gate")
+		minAllocs = fs.Int64("min-allocs", 20, "allocation floor: baselines under this allocs/op never gate on allocations")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,7 +86,7 @@ func run(args []string, stdout io.Writer) error {
 	case *parse != "":
 		return runParse(*parse, *out)
 	case *baseline != "" && *current != "":
-		return runCompare(*baseline, *current, *threshold, *minNs, stdout)
+		return runCompare(*baseline, *current, *threshold, *minNs, *minAllocs, stdout)
 	default:
 		return fmt.Errorf("nothing to do: pass -parse FILE, or -baseline FILE -current FILE")
 	}
@@ -171,7 +176,7 @@ func loadJSON(path string) (map[string]Benchmark, error) {
 	return byName, nil
 }
 
-func runCompare(basePath, curPath string, threshold, minNs float64, stdout io.Writer) error {
+func runCompare(basePath, curPath string, threshold, minNs float64, minAllocs int64, stdout io.Writer) error {
 	base, err := loadJSON(basePath)
 	if err != nil {
 		return err
@@ -212,7 +217,17 @@ func runCompare(basePath, curPath string, threshold, minNs float64, stdout io.Wr
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, limit +%.0f%%)", name, b.NsPerOp, c.NsPerOp, delta, threshold))
 		}
-		fmt.Fprintf(stdout, "%-9s %s %.0f -> %.0f ns/op (%+.1f%%)\n", status, name, b.NsPerOp, c.NsPerOp, delta)
+		allocNote := ""
+		if b.AllocsPerOp >= 0 && c.AllocsPerOp >= 0 {
+			allocDelta := 100 * float64(c.AllocsPerOp-b.AllocsPerOp) / float64(max(b.AllocsPerOp, 1))
+			allocNote = fmt.Sprintf(", %d -> %d allocs/op (%+.1f%%)", b.AllocsPerOp, c.AllocsPerOp, allocDelta)
+			if b.AllocsPerOp >= minAllocs && allocDelta > threshold {
+				status = "REGRESSED"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %d -> %d allocs/op (%+.1f%%, limit +%.0f%%)", name, b.AllocsPerOp, c.AllocsPerOp, allocDelta, threshold))
+			}
+		}
+		fmt.Fprintf(stdout, "%-9s %s %.0f -> %.0f ns/op (%+.1f%%)%s\n", status, name, b.NsPerOp, c.NsPerOp, delta, allocNote)
 	}
 	for name := range base {
 		if _, ok := cur[name]; !ok {
@@ -221,7 +236,7 @@ func runCompare(basePath, curPath string, threshold, minNs float64, stdout io.Wr
 	}
 	fmt.Fprintf(stdout, "compared %d benchmarks against %s, %d regression(s)\n", compared, basePath, len(regressions))
 	if len(regressions) > 0 {
-		return fmt.Errorf("ns/op regression beyond %.0f%%:\n  %s", threshold, strings.Join(regressions, "\n  "))
+		return fmt.Errorf("regression beyond %.0f%%:\n  %s", threshold, strings.Join(regressions, "\n  "))
 	}
 	return nil
 }

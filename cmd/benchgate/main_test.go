@@ -176,3 +176,54 @@ func TestCompareToleratesImprovementAndIgnoresNewBenchmarks(t *testing.T) {
 		t.Fatalf("improvement + new benchmark failed the gate: %v", err)
 	}
 }
+
+func TestCompareFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `[{"name":"a:BenchmarkX","ns_per_op":100000,"allocs_per_op":1000}]`)
+	cur := writeJSON(t, dir, "cur.json", `[{"name":"a:BenchmarkX","ns_per_op":100000,"allocs_per_op":1400}]`)
+	var sb strings.Builder
+	err := run([]string{"-baseline", base, "-current", cur, "-max-regression", "25"}, &sb)
+	if err == nil {
+		t.Fatalf("+40%% allocs passed a 25%% gate:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "allocs/op") || !strings.Contains(err.Error(), "+40.0%") {
+		t.Errorf("alloc regression error %q does not name allocs/op and delta", err)
+	}
+}
+
+func TestCompareAllocNoiseFloorAndUnreported(t *testing.T) {
+	dir := t.TempDir()
+	// 4 -> 8 allocs doubles but sits under the -min-allocs floor; an
+	// unreported side (-1) must never gate; a real alloc regression on a
+	// reporting pair still fails even when ns/op is flat.
+	base := writeJSON(t, dir, "base.json",
+		`[{"name":"a:BenchmarkSmall","ns_per_op":50000,"allocs_per_op":4},
+		  {"name":"a:BenchmarkSilent","ns_per_op":50000,"allocs_per_op":-1},
+		  {"name":"a:BenchmarkBig","ns_per_op":50000,"allocs_per_op":500}]`)
+	okCur := writeJSON(t, dir, "ok.json",
+		`[{"name":"a:BenchmarkSmall","ns_per_op":50000,"allocs_per_op":8},
+		  {"name":"a:BenchmarkSilent","ns_per_op":50000,"allocs_per_op":9999},
+		  {"name":"a:BenchmarkBig","ns_per_op":50000,"allocs_per_op":550}]`)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base, "-current", okCur}, &sb); err != nil {
+		t.Fatalf("sub-floor and unreported allocs failed the gate: %v\n%s", err, sb.String())
+	}
+	badCur := writeJSON(t, dir, "bad.json", `[{"name":"a:BenchmarkBig","ns_per_op":50000,"allocs_per_op":700}]`)
+	sb.Reset()
+	if err := run([]string{"-baseline", base, "-current", badCur}, &sb); err == nil {
+		t.Fatal("above-floor alloc regression passed the gate")
+	}
+}
+
+func TestCompareReportsAllocDeltas(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", `[{"name":"a:BenchmarkX","ns_per_op":100000,"allocs_per_op":200}]`)
+	cur := writeJSON(t, dir, "cur.json", `[{"name":"a:BenchmarkX","ns_per_op":101000,"allocs_per_op":100}]`)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base, "-current", cur}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "200 -> 100 allocs/op (-50.0%)") {
+		t.Errorf("report missing the alloc delta:\n%s", sb.String())
+	}
+}

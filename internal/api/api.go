@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"asagen/internal/artifact"
+	"asagen/internal/core"
 	"asagen/internal/models"
 	"asagen/internal/render"
 	"asagen/internal/spec"
@@ -110,6 +111,12 @@ func NewHandler(p *artifact.Pipeline) *Handler {
 			Pattern: "/v1/models/{model}",
 			Summary: "Describe one registered model.",
 			handler: h.handleModel,
+		},
+		{
+			Method:  "PUT",
+			Pattern: "/v1/models/{model}",
+			Summary: "Register or replace a model in place; compatible edits regenerate cached machines incrementally.",
+			handler: h.handleUpdateModel,
 		},
 		{
 			Method:  "DELETE",
@@ -308,6 +315,63 @@ func (h *Handler) handleRegisterModel(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Location", "/v1/models/"+compiled.Name())
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(http.StatusCreated)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(modelInfoFor(e))
+}
+
+// handleUpdateModel serves PUT /v1/models/{model}: the body is a JSON
+// model spec as for POST /v1/models, but the name may already be taken —
+// the entry is replaced in place (200) or newly registered (201). The
+// spec's name must match the path segment (400 otherwise). On
+// replacement, stale EFSMs and rendered artefacts are purged; when the
+// previous entry was also spec-defined and the edit preserves the
+// declared structure, previously generated machines are kept and linked
+// so the replacement's first generation regenerates incrementally from
+// the cached exploration (spec.Diff → core.Regenerate) instead of
+// exploring from scratch.
+func (h *Handler) handleUpdateModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("model")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec,
+			fmt.Sprintf("read spec body: %v", err))
+		return
+	}
+	compiled, err := spec.ParseAndCompile(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
+		return
+	}
+	if compiled.Name() != name {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec,
+			fmt.Sprintf("spec name %q does not match path model %q", compiled.Name(), name))
+		return
+	}
+	delta := core.ModelDelta{Full: true}
+	if old, err := h.reg.Get(name); err == nil {
+		if oldDoc, ok := old.Spec.(spec.Doc); ok {
+			delta = spec.Diff(oldDoc, compiled.Doc())
+		}
+	}
+	replaced, err := h.p.UpdateModel(compiled.Entry(), delta)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
+		return
+	}
+	e, err := h.reg.Get(name)
+	if err != nil {
+		// Replaced and immediately removed by a concurrent DELETE; the
+		// update itself succeeded.
+		e = compiled.Entry()
+	}
+	w.Header().Set("Location", "/v1/models/"+name)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if replaced {
+		w.WriteHeader(http.StatusOK)
+	} else {
+		w.WriteHeader(http.StatusCreated)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(modelInfoFor(e))

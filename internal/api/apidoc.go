@@ -26,6 +26,14 @@ func (h *Handler) Markdown() string {
 	b.WriteString("rendering; `DELETE /v1/models/{model}` unregisters a model and purges\n")
 	b.WriteString("its cached machines and artefacts. Registrations are scoped to the\n")
 	b.WriteString("serving instance — concurrent servers never share mutable state.\n\n")
+	b.WriteString("`PUT /v1/models/{model}` registers (`201`) or replaces (`200`) a model\n")
+	b.WriteString("in place; the spec's `name` must match the path segment. Replacing a\n")
+	b.WriteString("spec-defined model with an edit that keeps its components, messages\n")
+	b.WriteString("and start state intact does not discard the cached machines: the edit\n")
+	b.WriteString("is diffed rule-by-rule and the next artefact request regenerates each\n")
+	b.WriteString("affected machine incrementally from its cached exploration (visible\n")
+	b.WriteString("as `Incremental` in `/v1/stats`). Structural edits fall back to full\n")
+	b.WriteString("regeneration transparently.\n\n")
 
 	b.WriteString("## Versioned routes (`/v1`)\n\n")
 	b.WriteString("| Method | Path | Query | Description |\n")

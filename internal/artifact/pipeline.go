@@ -95,9 +95,12 @@ type Pipeline struct {
 	efsms   map[efsmKey]*efsmEntry
 	renders map[renderKey]*renderEntry
 	// modelFPs records, per registry name, the machine fingerprints the
-	// pipeline generated for it, so PurgeModel can evict a dynamically
-	// unregistered model's generations from the fingerprint-keyed cache.
-	modelFPs map[string]map[core.Fingerprint]struct{}
+	// pipeline generated for it and the parameter each was generated at,
+	// so PurgeModel can evict a dynamically unregistered model's
+	// generations from the fingerprint-keyed cache and UpdateModel can
+	// link each family member's old generation to its replacement for
+	// incremental regeneration.
+	modelFPs map[string]map[core.Fingerprint]int
 
 	renderHits, renderMisses int64
 }
@@ -178,7 +181,7 @@ func New(opts ...Option) *Pipeline {
 		reg:      models.Default(),
 		efsms:    make(map[efsmKey]*efsmEntry),
 		renders:  make(map[renderKey]*renderEntry),
-		modelFPs: make(map[string]map[core.Fingerprint]struct{}),
+		modelFPs: make(map[string]map[core.Fingerprint]int),
 	}
 	for _, opt := range opts {
 		opt(p)
@@ -215,7 +218,7 @@ func (p *Pipeline) Purge() {
 	p.cache.Purge()
 	p.efsms = make(map[efsmKey]*efsmEntry)
 	p.renders = make(map[renderKey]*renderEntry)
-	p.modelFPs = make(map[string]map[core.Fingerprint]struct{})
+	p.modelFPs = make(map[string]map[core.Fingerprint]int)
 }
 
 // PurgeModel drops every memoised machine, EFSM and rendered artefact
@@ -312,7 +315,7 @@ func (p *Pipeline) Render(ctx context.Context, req Request) Result {
 		return res
 	}
 	res.Fingerprint = p.cache.Fingerprint(model)
-	p.recordFingerprint(req.Model, res.Fingerprint)
+	p.recordFingerprint(req.Model, req.Param, res.Fingerprint)
 	machine, err := p.cache.MachineForFingerprint(ctx, res.Fingerprint, model)
 	if err != nil {
 		res.Err = err
@@ -365,26 +368,100 @@ func (p *Pipeline) efsmFor(ctx context.Context, entry models.Entry, param int) (
 	return e.efsm, e.err
 }
 
-// TrackFingerprint records that the named model generates under fp in
-// the pipeline's cache, so PurgeModel can later evict the generation.
-// Callers that generate through Cache() directly (the SDK facade's
-// default Generate path) must track here for unregistration to purge
-// their machines; Render tracks its own requests.
-func (p *Pipeline) TrackFingerprint(model string, fp core.Fingerprint) {
-	p.recordFingerprint(model, fp)
+// TrackFingerprint records that the named model generates under fp at the
+// given parameter in the pipeline's cache, so PurgeModel can later evict
+// the generation and UpdateModel can link it for incremental
+// regeneration. Callers that generate through Cache() directly (the SDK
+// facade's default Generate path) must track here for unregistration to
+// purge their machines; Render tracks its own requests.
+func (p *Pipeline) TrackFingerprint(model string, param int, fp core.Fingerprint) {
+	p.recordFingerprint(model, param, fp)
 }
 
-// recordFingerprint remembers that the named model generated under fp, so
-// PurgeModel can later evict the generation.
-func (p *Pipeline) recordFingerprint(model string, fp core.Fingerprint) {
+// recordFingerprint remembers that the named model generated under fp at
+// the parameter, so PurgeModel can later evict the generation and
+// UpdateModel can re-link it.
+func (p *Pipeline) recordFingerprint(model string, param int, fp core.Fingerprint) {
 	p.mu.Lock()
 	set, ok := p.modelFPs[model]
 	if !ok {
-		set = make(map[core.Fingerprint]struct{}, 1)
+		set = make(map[core.Fingerprint]int, 1)
 		p.modelFPs[model] = set
 	}
-	set[fp] = struct{}{}
+	set[fp] = param
 	p.mu.Unlock()
+}
+
+// UpdateModel replaces the registry entry under entry.Name in place,
+// reporting whether a previous entry existed (false means the model was
+// newly registered). Rendered artefacts and EFSMs derived from the
+// previous entry are purged; generated machines are kept and, when delta
+// permits (see core.Cache.LinkDelta), each previously generated family
+// member is linked so its replacement's first generation regenerates
+// incrementally from the cached machine instead of exploring from
+// scratch. The delta must conservatively describe the edit from the
+// previous entry's model to the new one (spec.Diff produces it for
+// declarative specs); pass a full delta when the relationship between the
+// entries is unknown.
+func (p *Pipeline) UpdateModel(entry models.Entry, delta core.ModelDelta) (bool, error) {
+	oldEntry, oldErr := p.reg.Get(entry.Name)
+	replaced, err := p.reg.Replace(entry)
+	if err != nil {
+		return false, err
+	}
+
+	p.mu.Lock()
+	old := make(map[core.Fingerprint]int, len(p.modelFPs[entry.Name]))
+	for fp, param := range p.modelFPs[entry.Name] {
+		old[fp] = param
+	}
+	// Artefacts derived from the previous entry are stale: EFSM renders
+	// are keyed by model name, machine renders by fingerprint (the new
+	// entry fingerprints differently, so the old renders are unreachable
+	// garbage either way).
+	for key := range p.renders {
+		if key.model == entry.Name {
+			delete(p.renders, key)
+			continue
+		}
+		if _, ok := old[key.fp]; ok {
+			delete(p.renders, key)
+		}
+	}
+	for key := range p.efsms {
+		if key.model == entry.Name {
+			delete(p.efsms, key)
+		}
+	}
+	p.mu.Unlock()
+
+	if !replaced || oldErr != nil || delta.IsFull() {
+		return replaced, nil
+	}
+	// Link each parameter value the pipeline has generated at. The old
+	// fingerprint is recomputed from the departing entry rather than taken
+	// from the recorded set, so fingerprints left over from entries two or
+	// more versions back — against which delta says nothing — are never
+	// linked.
+	params := make(map[int]struct{}, len(old))
+	for _, param := range old {
+		params[param] = struct{}{}
+	}
+	for param := range params {
+		om, err := oldEntry.Model(param)
+		if err != nil {
+			continue
+		}
+		nm, err := entry.Model(param)
+		if err != nil {
+			continue
+		}
+		oldFP := p.cache.Fingerprint(om)
+		newFP := p.cache.Fingerprint(nm)
+		p.recordFingerprint(entry.Name, param, newFP)
+		p.cache.LinkDelta(newFP, oldFP, delta)
+	}
+	return replaced, nil
 }
 
 // renderMemo memoises one rendered artefact, single-flight.

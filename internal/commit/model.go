@@ -143,6 +143,16 @@ type Model struct {
 	f       int
 	variant Variant
 	comps   []core.StateComponent
+
+	// Threshold annotations are fixed per model instance; rendering them
+	// once keeps Apply off the fmt.Sprintf path, which dominated the
+	// generation profile.
+	noteVoteCommit   string
+	noteVoteAdd      string
+	noteCommitVote   string
+	noteCommitCommit string
+	noteCommitDone   string
+	fpExtra          []string
 }
 
 var _ core.Model = (*Model)(nil)
@@ -180,6 +190,12 @@ func NewModel(r int, opts ...Option) (*Model, error) {
 	for _, opt := range opts {
 		opt(m)
 	}
+	m.noteVoteCommit = fmt.Sprintf("Vote threshold (%d) reached: send commit.", m.VoteThreshold())
+	m.noteVoteAdd = fmt.Sprintf("Vote threshold (%d) reached: add this member's vote.", m.VoteThreshold())
+	m.noteCommitVote = fmt.Sprintf("Commit threshold (%d) reached before voting: send vote.", m.CommitThreshold())
+	m.noteCommitCommit = fmt.Sprintf("Commit threshold (%d) reached: send commit.", m.CommitThreshold())
+	m.noteCommitDone = fmt.Sprintf("External commit threshold (%d) reached: finished.", m.CommitThreshold())
+	m.fpExtra = []string{fmt.Sprintf("fig9-variant:%+v", m.variant)}
 	return m, nil
 }
 
@@ -206,9 +222,7 @@ func (m *Model) Name() string { return "bft-commit" }
 // it must be part of the model's cache identity — the strict and redundant
 // readings share name, components and messages yet generate different
 // pre-merge machines.
-func (m *Model) FingerprintExtra() []string {
-	return []string{fmt.Sprintf("fig9-variant:%+v", m.variant)}
-}
+func (m *Model) FingerprintExtra() []string { return m.fpExtra }
 
 // Parameter implements core.Model.
 func (m *Model) Parameter() int { return m.r }
@@ -233,23 +247,25 @@ func (m *Model) Start() core.Vector {
 	return v
 }
 
-// machineState wraps a vector during effect elaboration, accumulating the
-// actions and annotations triggered by one message receipt (the paper's
-// Fig. 10 pattern: a series of updates to the working state s1, each
-// recorded with an annotation).
+// machineState wraps a working copy of the vector during effect
+// elaboration, accumulating the actions and annotations triggered by one
+// message receipt (the paper's Fig. 10 pattern: a series of updates to the
+// working state s1, each recorded with an annotation). The accumulators are
+// fixed-capacity arrays — no handler emits more than 3 actions or 6
+// annotations — so the whole struct lives on Apply's stack and nothing is
+// heap-allocated until an applicable effect is materialised.
 type machineState struct {
-	v           core.Vector
-	actions     []string
-	annotations []string
+	v           [numComponents]int
+	nact, nann  int
+	actions     [3]string
+	annotations [6]string
 }
 
 func (s *machineState) get(i int) int    { return s.v[i] }
 func (s *machineState) isSet(i int) bool { return s.v[i] != 0 }
 func (s *machineState) set(i, val int)   { s.v[i] = val }
-func (s *machineState) act(a string)     { s.actions = append(s.actions, a) }
-func (s *machineState) note(format string, args ...any) {
-	s.annotations = append(s.annotations, fmt.Sprintf(format, args...))
-}
+func (s *machineState) act(a string)     { s.actions[s.nact] = a; s.nact++ }
+func (s *machineState) note(line string) { s.annotations[s.nann] = line; s.nann++ }
 
 // totalVotes returns votes received plus the member's own vote, if sent
 // ("the total number of votes sent and received").
@@ -257,42 +273,57 @@ func (s *machineState) totalVotes() int {
 	return s.get(idxVotesReceived) + s.get(idxVoteSent)
 }
 
+// unchanged reports whether the elaboration left the vector equal to v.
+func (s *machineState) unchanged(v core.Vector) bool {
+	for i, val := range v {
+		if s.v[i] != val {
+			return false
+		}
+	}
+	return true
+}
+
 // Apply implements core.Model: it elaborates the full consequences of
 // receiving msg in state v, taking at generation time the control decisions
 // a generic algorithm would take dynamically.
 func (m *Model) Apply(v core.Vector, msg string) (core.Effect, bool) {
-	s := &machineState{v: v.Clone()}
+	var s machineState
+	copy(s.v[:], v)
 	finished := false
 	switch msg {
 	case MsgUpdate:
-		m.onUpdate(s)
+		m.onUpdate(&s)
 	case MsgVote:
-		if s.get(idxVotesReceived) == m.r-1 {
+		if v[idxVotesReceived] == m.r-1 {
 			return core.Effect{}, false // all r−1 peer votes already seen
 		}
-		m.onVote(s)
+		m.onVote(&s)
 	case MsgCommit:
-		if s.get(idxCommitsReceived) == m.r-1 {
+		if v[idxCommitsReceived] == m.r-1 {
 			return core.Effect{}, false
 		}
-		finished = m.onCommit(s)
+		finished = m.onCommit(&s)
 	case MsgFree:
-		m.onFree(s)
+		m.onFree(&s)
 	case MsgNotFree:
-		m.onNotFree(s)
+		m.onNotFree(&s)
 	default:
 		return core.Effect{}, false
 	}
 
-	if !finished && s.v.Equal(v) && len(s.actions) == 0 && !m.variant.RecordNoops {
+	if !finished && s.nact == 0 && !m.variant.RecordNoops && s.unchanged(v) {
 		return core.Effect{}, false // effect-free: message not applicable here
 	}
-	return core.Effect{
-		Target:      s.v,
-		Actions:     s.actions,
-		Annotations: s.annotations,
-		Finished:    finished,
-	}, true
+	target := make(core.Vector, numComponents)
+	copy(target, s.v[:])
+	eff := core.Effect{Target: target, Finished: finished}
+	if s.nact > 0 {
+		eff.Actions = append(make([]string, 0, s.nact), s.actions[:s.nact]...)
+	}
+	if s.nann > 0 {
+		eff.Annotations = append(make([]string, 0, s.nann), s.annotations[:s.nann]...)
+	}
+	return eff, true
 }
 
 // castVote performs the voluntary vote for this update: send the vote,
@@ -310,7 +341,7 @@ func (m *Model) castVote(s *machineState, unsetCC bool) {
 		if !s.isSet(idxCommitSent) {
 			s.act(ActSendCommit)
 			s.set(idxCommitSent, 1)
-			s.note("Vote threshold (%d) reached: send commit.", m.VoteThreshold())
+			s.note(m.noteVoteCommit)
 		}
 	}
 	s.set(idxHasChosen, 1)
@@ -352,12 +383,12 @@ func (m *Model) onVote(s *machineState) {
 		if m.variant.VoteUnsetsCC {
 			s.set(idxCouldChoose, 0)
 		}
-		s.note("Vote threshold (%d) reached: add this member's vote.", m.VoteThreshold())
+		s.note(m.noteVoteAdd)
 	}
 	if !s.isSet(idxCommitSent) {
 		s.act(ActSendCommit)
 		s.set(idxCommitSent, 1)
-		s.note("Vote threshold (%d) reached: send commit.", m.VoteThreshold())
+		s.note(m.noteVoteCommit)
 	}
 }
 
@@ -374,18 +405,18 @@ func (m *Model) onCommit(s *machineState) bool {
 	if !s.isSet(idxVoteSent) {
 		s.act(ActSendVote)
 		s.set(idxVoteSent, 1)
-		s.note("Commit threshold (%d) reached before voting: send vote.", m.CommitThreshold())
+		s.note(m.noteCommitVote)
 	}
 	if !s.isSet(idxCommitSent) {
 		s.act(ActSendCommit)
 		s.set(idxCommitSent, 1)
-		s.note("Commit threshold (%d) reached: send commit.", m.CommitThreshold())
+		s.note(m.noteCommitCommit)
 	}
 	if s.isSet(idxHasChosen) {
 		s.act(ActSendFree)
 		s.note("The chosen update is committed: this member is free again.")
 	}
-	s.note("External commit threshold (%d) reached: finished.", m.CommitThreshold())
+	s.note(m.noteCommitDone)
 	return true
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 )
 
@@ -46,6 +47,10 @@ type CacheStats struct {
 	// Cancellations counts generations aborted by context cancellation.
 	// Aborted generations never count as Generations and leave no entry.
 	Cancellations int64
+	// Incremental counts generations satisfied by patching a previously
+	// cached machine's exploration (see LinkDelta) instead of exploring
+	// from scratch. Incremental generations also count as Generations.
+	Incremental int64
 	// Entries is the current number of memoised machines.
 	Entries int
 }
@@ -68,8 +73,23 @@ type Cache struct {
 	// Machine calls neither rebuild the model nor re-run a failing
 	// factory, and concurrent first calls invoke the factory once.
 	params map[int]*paramEntry
+	// hints records the reachable-state count of completed generations
+	// per model family member (name:parameter), so the next generation of
+	// the same member — e.g. after a spec edit — pre-sizes its interning
+	// arena and never grows mid-exploration.
+	hints map[string]int
+	// links records registered regeneration edges: links[newFP] says the
+	// machine for newFP can be derived from the cached machine for an old
+	// fingerprint by incremental regeneration under a model delta.
+	links map[Fingerprint]regenLink
 
-	hits, misses, evictions, generations, cancellations int64
+	hits, misses, evictions, generations, cancellations, incremental int64
+}
+
+// regenLink is one registered incremental-regeneration edge.
+type regenLink struct {
+	oldFP Fingerprint
+	delta ModelDelta
 }
 
 // cacheEntry memoises one generation, sharing the work among concurrent
@@ -110,6 +130,8 @@ func NewGenerationCache(opts ...Option) *Cache {
 		opts:    append([]Option(nil), opts...),
 		entries: make(map[Fingerprint]*cacheEntry),
 		params:  make(map[int]*paramEntry),
+		hints:   make(map[string]int),
+		links:   make(map[Fingerprint]regenLink),
 	}
 }
 
@@ -192,9 +214,25 @@ func (c *Cache) machineFor(ctx context.Context, fp Fingerprint, m Model) (*State
 	c.entries[fp] = entry
 	c.order = append(c.order, fp)
 	c.evictLocked()
+	key := familyKey(m)
+	hint := c.hints[key]
+	link, hasLink := c.links[fp]
+	var old *StateMachine
+	if hasLink {
+		old = c.completedMachineLocked(link.oldFP)
+	}
 	c.mu.Unlock()
 
-	entry.machine, entry.err = Generate(ctx, m, c.opts...)
+	opts := c.opts
+	if hint > 0 {
+		opts = append(append(make([]Option, 0, len(c.opts)+1), c.opts...), WithSizeHint(hint))
+	}
+	var wasIncremental bool
+	if old != nil {
+		entry.machine, wasIncremental, entry.err = regenerate(ctx, old, m, link.delta, opts)
+	} else {
+		entry.machine, entry.err = Generate(ctx, m, opts...)
+	}
 	c.mu.Lock()
 	if isCancellation(entry.err) {
 		// An aborted generation must not poison the cache: drop the entry
@@ -204,10 +242,56 @@ func (c *Cache) machineFor(ctx context.Context, fp Fingerprint, m Model) (*State
 		c.dropLocked(fp, entry)
 	} else {
 		c.generations++
+		if wasIncremental {
+			c.incremental++
+		}
+		if entry.err == nil {
+			c.hints[key] = entry.machine.Stats.ReachableStates
+		}
 	}
 	c.mu.Unlock()
 	close(entry.done)
 	return entry.machine, entry.err
+}
+
+// familyKey identifies one model family member for exploration size hints.
+func familyKey(m Model) string {
+	return m.Name() + ":" + strconv.Itoa(m.Parameter())
+}
+
+// completedMachineLocked returns the memoised machine for fp when its
+// generation has already completed successfully, nil otherwise. It never
+// blocks on an in-flight generation.
+func (c *Cache) completedMachineLocked(fp Fingerprint) *StateMachine {
+	entry, ok := c.entries[fp]
+	if !ok {
+		return nil
+	}
+	select {
+	case <-entry.done:
+		if entry.err != nil {
+			return nil
+		}
+		return entry.machine
+	default:
+		return nil
+	}
+}
+
+// LinkDelta records that the machine for newFP can be derived from the
+// cached machine for oldFP by incremental regeneration under delta (see
+// Regenerate). The next MachineFor miss on newFP patches the old
+// machine's retained exploration instead of exploring from scratch —
+// falling back to full generation transparently when the old entry is
+// gone, still in flight, or incompatible. The artefact pipeline registers
+// links when a registered model is replaced in place.
+func (c *Cache) LinkDelta(newFP, oldFP Fingerprint, delta ModelDelta) {
+	if newFP == oldFP {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.links[newFP] = regenLink{oldFP: oldFP, delta: delta}
 }
 
 // isCancellation reports whether err is a context cancellation or
@@ -278,6 +362,9 @@ func (c *Cache) Purge() int {
 	c.entries = make(map[Fingerprint]*cacheEntry)
 	c.order = nil
 	c.params = make(map[int]*paramEntry)
+	c.links = make(map[Fingerprint]regenLink)
+	// Size hints survive a purge: they estimate exploration sizes, which a
+	// purge does not change.
 	return n
 }
 
@@ -312,6 +399,7 @@ func (c *Cache) Stats() CacheStats {
 		Evictions:     c.evictions,
 		Generations:   c.generations,
 		Cancellations: c.cancellations,
+		Incremental:   c.incremental,
 		Entries:       len(c.entries),
 	}
 }

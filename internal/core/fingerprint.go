@@ -43,7 +43,8 @@ func (w *fpWriter) writeInt(v int) {
 
 func (w *fpWriter) writeString(s string) {
 	w.writeInt(len(s))
-	w.h.Write([]byte(s))
+	w.buf = append(w.buf[:0], s...)
+	w.h.Write(w.buf)
 }
 
 func (w *fpWriter) writeStrings(ss []string) {

@@ -5,8 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
-	"sync"
 )
 
 // Errors returned by Generate for malformed models.
@@ -21,6 +21,15 @@ type genConfig struct {
 	singlePassMerge bool
 	describe        bool
 	workers         int
+	sizeHint        int
+}
+
+// behaviourEqual reports whether two configurations produce identical
+// machines. Worker count and size hints only change how the exploration is
+// scheduled, never its result.
+func (c genConfig) behaviourEqual(o genConfig) bool {
+	return c.prune == o.prune && c.merge == o.merge &&
+		c.singlePassMerge == o.singlePassMerge && c.describe == o.describe
 }
 
 // Option configures the generation pipeline.
@@ -56,54 +65,32 @@ func WithSinglePassMerge() Option { return func(c *genConfig) { c.singlePassMerg
 // which speeds up generation for large parameter values.
 func WithoutDescriptions() Option { return func(c *genConfig) { c.describe = false } }
 
-// WithWorkers shards frontier expansion across n goroutines. Each BFS level
-// is split into chunks whose transitions are computed concurrently and then
-// merged in deterministic state order, so the generated machine is
-// bit-identical to the serial result. The model's Apply method is called
-// concurrently; Model implementations must be deterministic and side-effect
-// free (as the Model contract already requires), which makes concurrent
-// calls safe. Values of n below 2 select the serial explorer. Ignored on
-// the WithoutPruning path, which retains the legacy serial enumeration.
+// WithWorkers expands the frontier with n goroutines. Frontier segments are
+// distributed over per-worker work-stealing deques, computed concurrently,
+// and merged in deterministic state order, so the generated machine is
+// bit-identical to the serial result. Frontiers smaller than an internal
+// threshold are expanded serially, so small models never pay goroutine
+// overhead. The model's Apply method is called concurrently; Model
+// implementations must be deterministic and side-effect free (as the Model
+// contract already requires), which makes concurrent calls safe. Values of
+// n below 2 select the serial explorer, and n is capped at GOMAXPROCS: on
+// a single-CPU machine the serial explorer always runs, since extra
+// goroutines could only add scheduling overhead without any parallelism.
+// Ignored on the WithoutPruning path, which retains the legacy serial
+// enumeration.
 func WithWorkers(n int) Option { return func(c *genConfig) { c.workers = n } }
 
-// rawTransition is the per-(state,message) effect computed during
-// exploration.
-type rawTransition struct {
-	// msg is the message that triggers the transition.
-	msg string
-	// target is the state id of the resulting state, or finishTarget for
-	// transitions into the synthetic finish state.
-	target      int
-	actions     []string
-	annotations []string
-}
-
-const finishTarget = -1
-
-// stateStore interns state vectors: each distinct vector is assigned a dense
-// id in discovery order. It replaces the legacy row-major ordinal indexing,
-// so only visited states are ever materialised.
-type stateStore struct {
-	ids    map[string]int
-	vecs   []Vector
-	keyBuf []byte
-}
-
-func newStateStore() *stateStore {
-	return &stateStore{ids: make(map[string]int, 64)}
-}
-
-// intern returns the id of v, assigning the next free id when v has not been
-// seen before. The vector is copied, so callers may reuse v.
-func (st *stateStore) intern(v Vector) int {
-	st.keyBuf = v.appendKey(st.keyBuf[:0])
-	if id, ok := st.ids[string(st.keyBuf)]; ok {
-		return id
+// WithSizeHint pre-sizes the exploration's interning arena for
+// approximately n reachable states, eliminating hash-table growth during
+// exploration. The generation cache supplies this automatically from the
+// Stats of prior generations of the same model family; the hint never
+// changes the generated machine and is excluded from model fingerprints.
+func WithSizeHint(n int) Option {
+	return func(c *genConfig) {
+		if n > 0 {
+			c.sizeHint = n
+		}
 	}
-	id := len(st.vecs)
-	st.ids[string(st.keyBuf)] = id
-	st.vecs = append(st.vecs, v.Clone())
-	return id
 }
 
 // Generate executes the abstract model and returns the corresponding finite
@@ -141,9 +128,7 @@ func Generate(ctx context.Context, m Model, opts ...Option) (*StateMachine, erro
 	}
 
 	var (
-		store      *stateStore
-		table      [][]rawTransition
-		hasFinish  bool
+		ex         *exploration
 		err        error
 		crossSize  int
 		overflowed bool
@@ -158,9 +143,9 @@ func Generate(ctx context.Context, m Model, opts ...Option) (*StateMachine, erro
 	}
 
 	if cfg.prune {
-		store, table, hasFinish, err = exploreFrontier(ctx, m, components, messages, start, cfg.workers)
+		ex, err = explore(ctx, m, components, messages, start, cfg)
 	} else {
-		store, table, hasFinish, err = enumerateAll(ctx, m, components, messages, crossSize)
+		ex, err = enumerateAll(ctx, m, components, messages, crossSize, cfg)
 	}
 	if err != nil {
 		return nil, err
@@ -172,9 +157,9 @@ func Generate(ctx context.Context, m Model, opts ...Option) (*StateMachine, erro
 			return nil, err
 		}
 	}
-	finishReachable := hasFinish // every explored state is reachable on the frontier path
+	finishReachable := ex.hasFinish // every explored state is reachable on the frontier path
 
-	machine := buildMachine(m, cfg, store.vecs, table, finishReachable, startID)
+	machine := buildMachine(m, cfg, ex, nil, finishReachable, startID)
 	machine.Stats.InitialStates = crossSize
 	machine.Stats.InitialOverflow = overflowed
 	machine.Stats.ReachableStates = len(machine.States)
@@ -185,189 +170,83 @@ func Generate(ctx context.Context, m Model, opts ...Option) (*StateMachine, erro
 	}
 	machine.Stats.FinalStates = len(machine.States)
 	machine.sortStates()
+	if cfg.prune {
+		// Retain the raw exploration for incremental regeneration. The
+		// legacy path keeps unreachable states in the machine, a shape
+		// Regenerate does not reproduce, so it retains nothing.
+		machine.explored = ex
+	}
 	return machine, nil
 }
 
-// exploreFrontier performs the reachability-first exploration: a worklist
-// BFS from the start vector, interning each newly discovered vector in the
-// store. Processing states in id order is exactly FIFO order, since new
-// states are appended in discovery order. With workers > 1 each BFS level is
-// expanded concurrently and merged deterministically.
-func exploreFrontier(ctx context.Context, m Model, components []StateComponent, messages []string, start Vector, workers int) (*stateStore, [][]rawTransition, bool, error) {
-	if workers > 1 {
-		return exploreFrontierParallel(ctx, m, components, messages, start, workers)
+// explore performs the reachability-first exploration: a worklist BFS from
+// the start vector, interning each newly discovered vector in the arena.
+// Processing states in id order is exactly FIFO order, since new states are
+// appended in discovery order. With workers > 1, frontier stretches above
+// parallelThreshold are expanded by the work-stealing explorer and merged
+// deterministically; smaller stretches are expanded inline.
+func explore(ctx context.Context, m Model, components []StateComponent, messages []string, start Vector, cfg genConfig) (*exploration, error) {
+	ex := newExploration(len(components), len(messages), cfg)
+	ex.arena.intern(start)
+
+	var ws *wsExplorer
+	if w := min(cfg.workers, runtime.GOMAXPROCS(0)); w > 1 {
+		ws = newWSExplorer(m, components, messages, w)
+		defer ws.stop()
 	}
-	store := newStateStore()
-	store.intern(start)
-	table := make([][]rawTransition, 0, 64)
-	hasFinish := false
-	for cursor := 0; cursor < len(store.vecs); cursor++ {
+
+	for cursor := 0; cursor < ex.arena.n; {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, false, err
+			return nil, err
 		}
-		v := store.vecs[cursor]
-		row := make([]rawTransition, 0, len(messages))
-		for _, msg := range messages {
-			eff, ok := m.Apply(v, msg)
-			if !ok {
-				continue
+		if ws != nil && ex.arena.n-cursor >= parallelThreshold {
+			next, err := ws.expandLevel(ctx, ex, cursor, ex.arena.n)
+			if err != nil {
+				return nil, err
 			}
-			rt := rawTransition{msg: msg, actions: eff.Actions, annotations: eff.Annotations}
-			if eff.Finished {
-				rt.target = finishTarget
-				hasFinish = true
-			} else {
-				if err := eff.Target.validate(components); err != nil {
-					return nil, nil, false, fmt.Errorf("core: %s on %s: %w", msg, v.Name(components), err)
-				}
-				rt.target = store.intern(eff.Target)
-			}
-			row = append(row, rt)
+			cursor = next
+			continue
 		}
-		table = append(table, row)
+		if err := ex.expandState(m, components, messages, cursor); err != nil {
+			return nil, err
+		}
+		cursor++
 	}
-	return store, table, hasFinish, nil
-}
-
-// appliedEffect is one applicable (message, effect) pair computed by a
-// frontier-expansion worker before the deterministic merge assigns ids.
-type appliedEffect struct {
-	msg string
-	eff Effect
-}
-
-// exploreFrontierParallel is the level-synchronised variant of
-// exploreFrontier: the states of one BFS level are sharded across workers,
-// each worker computes the raw effects for its shard, and the main goroutine
-// merges the shards in ascending state id, interning targets in the same
-// order the serial explorer would. The resulting store and table are
-// identical to the serial ones.
-func exploreFrontierParallel(ctx context.Context, m Model, components []StateComponent, messages []string, start Vector, workers int) (*stateStore, [][]rawTransition, bool, error) {
-	store := newStateStore()
-	store.intern(start)
-	table := make([][]rawTransition, 0, 64)
-	hasFinish := false
-
-	for lo := 0; lo < len(store.vecs); {
-		hi := len(store.vecs)
-		n := hi - lo
-		results := make([][]appliedEffect, n)
-		chunk := (n + workers - 1) / workers
-
-		var (
-			wg       sync.WaitGroup
-			errMu    sync.Mutex
-			firstErr error
-		)
-		for w := 0; w < workers; w++ {
-			a := lo + w*chunk
-			b := min(a+chunk, hi)
-			if a >= b {
-				break
-			}
-			wg.Add(1)
-			go func(a, b int) {
-				defer wg.Done()
-				for id := a; id < b; id++ {
-					if err := ctx.Err(); err != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						errMu.Unlock()
-						return
-					}
-					v := store.vecs[id]
-					effs := make([]appliedEffect, 0, len(messages))
-					for _, msg := range messages {
-						eff, ok := m.Apply(v, msg)
-						if !ok {
-							continue
-						}
-						if !eff.Finished {
-							if err := eff.Target.validate(components); err != nil {
-								errMu.Lock()
-								if firstErr == nil {
-									firstErr = fmt.Errorf("core: %s on %s: %w", msg, v.Name(components), err)
-								}
-								errMu.Unlock()
-								return
-							}
-						}
-						effs = append(effs, appliedEffect{msg: msg, eff: eff})
-					}
-					results[id-lo] = effs
-				}
-			}(a, b)
-		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, nil, false, firstErr
-		}
-
-		for i := 0; i < n; i++ {
-			row := make([]rawTransition, 0, len(results[i]))
-			for _, ae := range results[i] {
-				rt := rawTransition{msg: ae.msg, actions: ae.eff.Actions, annotations: ae.eff.Annotations}
-				if ae.eff.Finished {
-					rt.target = finishTarget
-					hasFinish = true
-				} else {
-					rt.target = store.intern(ae.eff.Target)
-				}
-				row = append(row, rt)
-			}
-			table = append(table, row)
-		}
-		lo = hi
-	}
-	return store, table, hasFinish, nil
+	return ex, nil
 }
 
 // enumerateAll is the legacy §3.4 steps 1+2: materialise every possible
 // state in row-major order and compute the transitions resulting from each
-// possible message. State ids coincide with enumeration indices.
-func enumerateAll(ctx context.Context, m Model, components []StateComponent, messages []string, size int) (*stateStore, [][]rawTransition, bool, error) {
-	store := &stateStore{vecs: make([]Vector, size)}
-	table := make([][]rawTransition, size)
-	hasFinish := false
+// possible message. State ids coincide with enumeration indices, because
+// every vector is interned in row-major order before expansion starts.
+func enumerateAll(ctx context.Context, m Model, components []StateComponent, messages []string, size int, cfg genConfig) (*exploration, error) {
+	cfg.sizeHint = size
+	ex := newExploration(len(components), len(messages), cfg)
 	for idx := 0; idx < size; idx++ {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, false, err
-		}
-		v := vectorFromIndex(idx, components)
-		store.vecs[idx] = v
-		row := make([]rawTransition, 0, len(messages))
-		for _, msg := range messages {
-			eff, ok := m.Apply(v, msg)
-			if !ok {
-				continue
+		if idx&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			rt := rawTransition{msg: msg, actions: eff.Actions, annotations: eff.Annotations}
-			if eff.Finished {
-				rt.target = finishTarget
-				hasFinish = true
-			} else {
-				if err := eff.Target.validate(components); err != nil {
-					return nil, nil, false, fmt.Errorf("core: %s on %s: %w", msg, v.Name(components), err)
-				}
-				target, err := eff.Target.index(components)
-				if err != nil {
-					return nil, nil, false, err
-				}
-				rt.target = target
-			}
-			row = append(row, rt)
 		}
-		table[idx] = row
+		ex.arena.intern(vectorFromIndex(idx, components))
 	}
-	return store, table, hasFinish, nil
+	for id := 0; id < size; id++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := ex.expandState(m, components, messages, id); err != nil {
+			return nil, err
+		}
+	}
+	return ex, nil
 }
 
 // buildMachine materialises State and Transition objects for the explored
-// states. vecs[i] is the vector of state id i; table[i] its outgoing raw
-// transitions.
-func buildMachine(m Model, cfg genConfig, vecs []Vector, table [][]rawTransition, finishReachable bool, startID int) *StateMachine {
+// states. reach lists the arena ids to materialise in ascending order (nil
+// selects every id); startID must be among them. States and transitions
+// are block-allocated, and action/annotation slices alias the effect cells
+// rather than being copied.
+func buildMachine(m Model, cfg genConfig, ex *exploration, reach []int32, finishReachable bool, startID int) *StateMachine {
 	components := m.Components()
 	machine := &StateMachine{
 		ModelName:  m.Name(),
@@ -375,20 +254,71 @@ func buildMachine(m Model, cfg genConfig, vecs []Vector, table [][]rawTransition
 		Components: components,
 		Messages:   append([]string(nil), m.Messages()...),
 	}
+	nm := len(machine.Messages)
 
-	states := make([]*State, len(table))
-	for id, row := range table {
-		v := vecs[id]
-		s := &State{
-			Name:        v.Name(components),
-			Vector:      v,
-			Transitions: make(map[string]*Transition, len(row)),
+	n := ex.arena.n
+	if reach != nil {
+		n = len(reach)
+	}
+	idFor := func(k int) int32 {
+		if reach != nil {
+			return reach[k]
 		}
+		return int32(k)
+	}
+	// posOf maps arena id -> machine state index.
+	var posOf []int32
+	if reach != nil {
+		posOf = make([]int32, ex.arena.n)
+		for i := range posOf {
+			posOf[i] = -1
+		}
+		for k, id := range reach {
+			posOf[id] = int32(k)
+		}
+	}
+
+	// Count transitions up front so the transition block never reallocates;
+	// handed-out pointers must stay stable.
+	total := 0
+	for k := 0; k < n; k++ {
+		id := idFor(k)
+		for mi := 0; mi < nm; mi++ {
+			if ex.cols[mi][id].target != cellNone {
+				total++
+			}
+		}
+	}
+
+	stateBlock := make([]State, n)
+	states := make([]*State, n)
+	transBlock := make([]Transition, 0, total)
+	// One backing array serves every state's initial single-entry
+	// MergedNames list; merging replaces whole slices, never appends in
+	// place, so full slice expressions keep the views independent.
+	nameBlock := make([]string, n)
+	var nameBuf []byte
+
+	for k := 0; k < n; k++ {
+		id := idFor(k)
+		v := ex.arena.vec(int(id))
+		cnt := 0
+		for mi := 0; mi < nm; mi++ {
+			if ex.cols[mi][id].target != cellNone {
+				cnt++
+			}
+		}
+		s := &stateBlock[k]
+		nameBuf = v.appendName(nameBuf[:0], components)
+		s.Name = string(nameBuf)
+		s.Vector = v
+		s.Transitions = make(map[string]*Transition, cnt)
 		if cfg.describe {
 			s.Annotations = m.DescribeState(v)
 		}
-		s.MergedNames = []string{s.Name}
-		states[id] = s
+		nameBlock[k] = s.Name
+		s.MergedNames = nameBlock[k : k+1 : k+1]
+		states[k] = s
 		machine.States = append(machine.States, s)
 	}
 
@@ -405,25 +335,47 @@ func buildMachine(m Model, cfg genConfig, vecs []Vector, table [][]rawTransition
 		machine.Finish = finish
 	}
 
-	for id, row := range table {
-		s := states[id]
-		for _, rt := range row {
+	for k := 0; k < n; k++ {
+		id := idFor(k)
+		s := states[k]
+		for mi := 0; mi < nm; mi++ {
+			cell := ex.cols[mi][id]
+			if cell.target == cellNone {
+				continue
+			}
 			var target *State
-			if rt.target == finishTarget {
+			switch {
+			case cell.target == cellFinish:
 				target = finish
-			} else {
-				target = states[rt.target]
+			case reach != nil:
+				target = states[posOf[cell.target]]
+			default:
+				target = states[cell.target]
 			}
-			s.Transitions[rt.msg] = &Transition{
-				Message:     rt.msg,
+			actions := cell.actions
+			if len(actions) == 0 {
+				actions = nil
+			}
+			annotations := cell.annotations
+			if len(annotations) == 0 {
+				annotations = nil
+			}
+			msg := machine.Messages[mi]
+			transBlock = append(transBlock, Transition{
+				Message:     msg,
 				Target:      target,
-				Actions:     append([]string(nil), rt.actions...),
-				Annotations: append([]string(nil), rt.annotations...),
-			}
+				Actions:     actions,
+				Annotations: annotations,
+			})
+			s.Transitions[msg] = &transBlock[len(transBlock)-1]
 		}
 	}
 
-	machine.Start = states[startID]
+	if reach != nil {
+		machine.Start = states[posOf[startID]]
+	} else {
+		machine.Start = states[startID]
+	}
 	return machine
 }
 

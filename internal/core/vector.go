@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"strings"
 )
 
 // ErrStateSpaceOverflow reports that the component cross product exceeds
@@ -65,11 +64,19 @@ func (v Vector) Compare(w Vector) int {
 // Name renders the vector as a state name in the paper's encoding: the
 // component value names joined by "/", e.g. "T/2/F/0/F/F/F".
 func (v Vector) Name(components []StateComponent) string {
-	parts := make([]string, len(v))
+	return string(v.appendName(nil, components))
+}
+
+// appendName appends the state-name rendering to buf, so bulk callers can
+// reuse one buffer across states.
+func (v Vector) appendName(buf []byte, components []StateComponent) []byte {
 	for i, val := range v {
-		parts[i] = components[i].ValueName(val)
+		if i > 0 {
+			buf = append(buf, '/')
+		}
+		buf = append(buf, components[i].ValueName(val)...)
 	}
-	return strings.Join(parts, "/")
+	return buf
 }
 
 // appendKey appends a compact byte encoding of the vector to buf, for use as

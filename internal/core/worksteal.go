@@ -1,0 +1,318 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// parallelThreshold is the minimum frontier population for which
+	// parallel expansion is dispatched to the workers. Below it the
+	// coordinator expands inline: goroutine hand-off and merge bookkeeping
+	// cost more than a few hundred Apply calls, which is how WithWorkers
+	// used to lose to the serial explorer on small machines.
+	parallelThreshold = 512
+	// wsSegmentSize is the number of states per work-stealing segment.
+	wsSegmentSize = 64
+)
+
+// wsCell is one Apply result computed by a worker, before the coordinator's
+// deterministic merge interns its target.
+type wsCell struct {
+	eff Effect
+	ok  bool
+}
+
+// wsCellPool recycles the per-level cell buffers across levels and across
+// concurrent generations.
+var wsCellPool = sync.Pool{
+	New: func() any { return new([]wsCell) },
+}
+
+// wsExplorer owns a pool of persistent worker goroutines that expand
+// frontier stretches. Work is distributed as fixed-size segments over
+// per-worker work-stealing deques: each worker drains its own deque from
+// the bottom and steals from the top of a victim's when it runs dry, so an
+// uneven Apply cost profile cannot leave workers idle behind a barrier the
+// way the old chunk-and-barrier sharding did.
+//
+// Determinism: workers only compute effects; the coordinator alone interns
+// targets, walking the completed level in ascending state id and message
+// order — the exact order the serial explorer interns in. The resulting
+// arena ids, columns, and machine are therefore bit-identical to the
+// serial result regardless of worker count or scheduling.
+type wsExplorer struct {
+	m          Model
+	components []StateComponent
+	messages   []string
+	workers    int
+	levelCh    chan *wsLevel
+	started    bool
+}
+
+func newWSExplorer(m Model, components []StateComponent, messages []string, workers int) *wsExplorer {
+	return &wsExplorer{m: m, components: components, messages: messages, workers: workers}
+}
+
+// start lazily spawns the worker goroutines; explorations that never reach
+// parallelThreshold never pay for them.
+func (e *wsExplorer) start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.levelCh = make(chan *wsLevel)
+	for i := 0; i < e.workers; i++ {
+		go e.worker(i)
+	}
+}
+
+// stop terminates the worker pool, if it was ever started.
+func (e *wsExplorer) stop() {
+	if e.started {
+		close(e.levelCh)
+	}
+}
+
+func (e *wsExplorer) worker(idx int) {
+	for lvl := range e.levelCh {
+		lvl.run(idx)
+	}
+}
+
+// expandLevel expands states [lo, hi) on the worker pool and merges the
+// results into ex in deterministic order. It returns the next cursor (hi).
+func (e *wsExplorer) expandLevel(ctx context.Context, ex *exploration, lo, hi int) (int, error) {
+	e.start()
+	nm := len(e.messages)
+	need := (hi - lo) * nm
+
+	cellsp := wsCellPool.Get().(*[]wsCell)
+	if cap(*cellsp) < need {
+		*cellsp = make([]wsCell, need)
+	}
+	cells := (*cellsp)[:need]
+
+	nseg := (hi - lo + wsSegmentSize - 1) / wsSegmentSize
+	lvl := &wsLevel{
+		lo: lo, hi: hi,
+		width:      ex.arena.width,
+		chunks:     ex.arena.chunks,
+		cells:      cells,
+		deques:     make([]*stealDeque, e.workers),
+		done:       make(chan struct{}),
+		ctx:        ctx,
+		m:          e.m,
+		components: e.components,
+		messages:   e.messages,
+	}
+	lvl.pending.Store(int64(nseg))
+	// Seed each worker's deque with a contiguous run of segments, so the
+	// no-stealing fast path touches memory sequentially.
+	per := (nseg + e.workers - 1) / e.workers
+	for w := 0; w < e.workers; w++ {
+		a := min(w*per, nseg)
+		b := min(a+per, nseg)
+		lvl.deques[w] = newStealDeque(a, b)
+	}
+
+	for i := 0; i < e.workers; i++ {
+		e.levelCh <- lvl
+	}
+	<-lvl.done
+	err := lvl.errOf()
+	if err == nil {
+		// Deterministic merge: ascending state id, message order.
+		for i := 0; i < hi-lo; i++ {
+			base := i * nm
+			for mi := 0; mi < nm; mi++ {
+				c := cells[base+mi]
+				ex.cols[mi] = append(ex.cols[mi], ex.cellOf(c.eff, c.ok))
+			}
+		}
+	}
+	clear(cells) // release Effect references before pooling the buffer
+	wsCellPool.Put(cellsp)
+	if err != nil {
+		return 0, err
+	}
+	return hi, nil
+}
+
+// wsLevel is one dispatched frontier stretch. It is self-contained — late
+// workers that receive it after the level already completed find only
+// drained deques and return without touching shared state.
+type wsLevel struct {
+	lo, hi  int
+	width   int
+	chunks  [][]int
+	cells   []wsCell
+	deques  []*stealDeque
+	pending atomic.Int64
+	done    chan struct{}
+
+	errMu sync.Mutex
+	err   error
+
+	ctx        context.Context
+	m          Model
+	components []StateComponent
+	messages   []string
+}
+
+// vecOf reads state id from the chunk snapshot. Chunks never move, so the
+// snapshot covers every id below hi even while the coordinator (which is
+// blocked on done anyway) would intern more.
+func (l *wsLevel) vecOf(id int) Vector {
+	c := l.chunks[id>>arenaChunkShift]
+	off := (id & (arenaChunkSize - 1)) * l.width
+	return Vector(c[off : off+l.width : off+l.width])
+}
+
+func (l *wsLevel) fail(err error) {
+	l.errMu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.errMu.Unlock()
+}
+
+func (l *wsLevel) errOf() error {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.err
+}
+
+func (l *wsLevel) failed() bool { return l.errOf() != nil }
+
+// run drains segments — own deque first, then stealing — until no work is
+// left anywhere, completing the level when the last segment finishes.
+func (l *wsLevel) run(w int) {
+	own := l.deques[w]
+	for {
+		seg, ok := own.pop()
+		if !ok {
+			seg, ok = l.steal(w)
+			if !ok {
+				return
+			}
+		}
+		l.process(seg)
+		if l.pending.Add(-1) == 0 {
+			close(l.done)
+		}
+	}
+}
+
+// steal claims a segment from some other worker's deque, retrying while any
+// deque still appears populated (a failed CAS means another thief won the
+// race, not that the work is gone).
+func (l *wsLevel) steal(w int) (int, bool) {
+	for {
+		busy := false
+		for i := range l.deques {
+			if i == w {
+				continue
+			}
+			if seg, ok := l.deques[i].steal(); ok {
+				return seg, true
+			}
+			if !l.deques[i].empty() {
+				busy = true
+			}
+		}
+		if !busy {
+			return 0, false
+		}
+	}
+}
+
+// process expands one segment of states, recording raw effects into the
+// level's cell buffer. After a failure, remaining segments are drained
+// without work so pending still reaches zero.
+func (l *wsLevel) process(seg int) {
+	if l.failed() {
+		return
+	}
+	if err := l.ctx.Err(); err != nil {
+		l.fail(err)
+		return
+	}
+	base := l.lo + seg*wsSegmentSize
+	end := min(base+wsSegmentSize, l.hi)
+	nm := len(l.messages)
+	for id := base; id < end; id++ {
+		v := l.vecOf(id)
+		out := l.cells[(id-l.lo)*nm:]
+		for mi, msg := range l.messages {
+			eff, ok := l.m.Apply(v, msg)
+			if ok && !eff.Finished {
+				if err := eff.Target.validate(l.components); err != nil {
+					l.fail(fmt.Errorf("core: %s on %s: %w", msg, v.Name(l.components), err))
+					return
+				}
+			}
+			out[mi] = wsCell{eff: eff, ok: ok}
+		}
+	}
+}
+
+// stealDeque is a work-stealing deque of segment indices specialised for
+// the level protocol: all pushes happen before the workers see the level,
+// so the buffer is immutable while owner pops (bottom end) and thief steals
+// (top end) race. That immutability reduces the classic Chase-Lev algorithm
+// to its pop/steal halves — the only synchronisation point is the CAS on
+// top when the two ends meet.
+type stealDeque struct {
+	base   int // segment index of buffer slot 0
+	size   int
+	top    atomic.Int64
+	bottom atomic.Int64
+}
+
+// newStealDeque seeds a deque holding segments [a, b).
+func newStealDeque(a, b int) *stealDeque {
+	d := &stealDeque{base: a, size: b - a}
+	d.bottom.Store(int64(b - a))
+	return d
+}
+
+func (d *stealDeque) empty() bool {
+	return d.top.Load() >= d.bottom.Load()
+}
+
+// pop takes a segment from the bottom; the owner is the only caller.
+func (d *stealDeque) pop() (int, bool) {
+	b := d.bottom.Add(-1)
+	t := d.top.Load()
+	if t > b {
+		// Deque was empty; restore bottom.
+		d.bottom.Store(t)
+		return 0, false
+	}
+	if t == b {
+		// Last element: race the thieves for it.
+		ok := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(b + 1)
+		if !ok {
+			return 0, false
+		}
+	}
+	return d.base + int(b), true
+}
+
+// steal takes a segment from the top. A false return means either the deque
+// is empty or another thief won the CAS; callers distinguish via empty().
+func (d *stealDeque) steal() (int, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return 0, false
+	}
+	if !d.top.CompareAndSwap(t, t+1) {
+		return 0, false
+	}
+	return d.base + int(t), true
+}

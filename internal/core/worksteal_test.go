@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// forceParallel raises GOMAXPROCS above 1 for the duration of a test, so
+// the WithWorkers tests exercise the work-stealing path even on a
+// single-CPU host, where explore's GOMAXPROCS cap would otherwise route
+// them through the serial explorer.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	if prev := runtime.GOMAXPROCS(0); prev < 2 {
+		runtime.GOMAXPROCS(8)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+}
+
+// cubeModel is a wide model whose BFS frontier grows fast enough to cross
+// parallelThreshold: state is an n-dimensional counter vector, each
+// dimension independently incrementable up to max, finishing when all
+// dimensions are saturated.
+type cubeModel struct {
+	dims, max int
+}
+
+func (m *cubeModel) Name() string   { return "cube" }
+func (m *cubeModel) Parameter() int { return m.max }
+func (m *cubeModel) Components() []StateComponent {
+	out := make([]StateComponent, m.dims)
+	for i := range out {
+		out[i] = NewIntComponent(string(rune('a'+i)), m.max)
+	}
+	return out
+}
+func (m *cubeModel) Messages() []string {
+	out := make([]string, m.dims+1)
+	for i := 0; i < m.dims; i++ {
+		out[i] = "inc-" + string(rune('a'+i))
+	}
+	out[m.dims] = "fin"
+	return out
+}
+func (m *cubeModel) Start() Vector { return make(Vector, m.dims) }
+
+func (m *cubeModel) Apply(v Vector, msg string) (Effect, bool) {
+	if msg == "fin" {
+		for _, x := range v {
+			if x != m.max {
+				return Effect{}, false
+			}
+		}
+		return Effect{Finished: true, Actions: []string{"->done"}}, true
+	}
+	i := int(msg[len(msg)-1] - 'a')
+	if v[i] == m.max {
+		return Effect{}, false
+	}
+	t := v.Clone()
+	t[i]++
+	return Effect{Target: t}, true
+}
+
+func (m *cubeModel) DescribeState(v Vector) []string { return nil }
+
+// TestCubeFrontierCrossesParallelThreshold proves the cube model actually
+// drives the explorer through the parallel branch: replaying the serial
+// BFS, the pending-state gap (interned minus expanded) must exceed
+// parallelThreshold at some point, or the WithWorkers tests below would
+// silently test the serial path only.
+func TestCubeFrontierCrossesParallelThreshold(t *testing.T) {
+	m := &cubeModel{dims: 6, max: 4}
+	ex, err := explore(context.Background(), m, m.Components(), m.Messages(), m.Start(),
+		genConfig{prune: true, merge: true, describe: true})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	// Replay discovery order against a fresh arena to track the gap.
+	maxGap := 0
+	replay := newVecArena(ex.arena.width, 0)
+	replay.intern(m.Start())
+	for cursor := 0; cursor < replay.n; cursor++ {
+		if gap := replay.n - cursor; gap > maxGap {
+			maxGap = gap
+		}
+		v := replay.vec(cursor)
+		for _, msg := range m.Messages() {
+			if eff, ok := m.Apply(v, msg); ok && !eff.Finished {
+				replay.intern(eff.Target)
+			}
+		}
+	}
+	if maxGap < parallelThreshold {
+		t.Fatalf("max pending gap %d never crossed parallelThreshold %d; widen the model",
+			maxGap, parallelThreshold)
+	}
+}
+
+// TestWorkersBitIdenticalToSerial checks the core determinism claim: the
+// work-stealing explorer produces a machine bit-identical to the serial
+// explorer, across worker counts.
+func TestWorkersBitIdenticalToSerial(t *testing.T) {
+	forceParallel(t)
+	m := &cubeModel{dims: 6, max: 4}
+	serial := mustGenerate(t, m)
+	for _, workers := range []int{2, 3, 4, 8} {
+		parallel := mustGenerate(t, m, WithWorkers(workers))
+		if parallel.Fingerprint() != serial.Fingerprint() {
+			t.Errorf("workers=%d: fingerprint %s != serial %s",
+				workers, parallel.Fingerprint(), serial.Fingerprint())
+		}
+		if parallel.Stats != serial.Stats {
+			t.Errorf("workers=%d: stats %+v != serial %+v", workers, parallel.Stats, serial.Stats)
+		}
+	}
+}
+
+// TestWorkersPropagateModelErrors: a model returning an out-of-domain
+// target must fail identically under parallel expansion.
+func TestWorkersPropagateModelErrors(t *testing.T) {
+	forceParallel(t)
+	m := &invalidTargetCube{cubeModel{dims: 6, max: 4}}
+	_, serialErr := Generate(context.Background(), m)
+	if serialErr == nil {
+		t.Fatal("serial generation should reject the invalid target")
+	}
+	_, parallelErr := Generate(context.Background(), m, WithWorkers(4))
+	if parallelErr == nil {
+		t.Fatal("parallel generation should reject the invalid target")
+	}
+}
+
+// invalidTargetCube corrupts one deep state's target so the failure only
+// appears after the frontier has gone parallel.
+type invalidTargetCube struct{ cubeModel }
+
+func (m *invalidTargetCube) Apply(v Vector, msg string) (Effect, bool) {
+	eff, ok := m.cubeModel.Apply(v, msg)
+	if ok && !eff.Finished && v[0] == m.max/2 && v[1] == m.max/2 {
+		eff.Target = append(Vector(nil), eff.Target...)
+		eff.Target[0] = -1
+	}
+	return eff, ok
+}
+
+// TestWorkersCancellation: cancelling mid-exploration aborts promptly with
+// the context error under the parallel path.
+func TestWorkersCancellation(t *testing.T) {
+	forceParallel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Generate(ctx, &cubeModel{dims: 6, max: 4}, WithWorkers(4))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStealDequeExactlyOnce hammers one deque with an owner popping and
+// several thieves stealing concurrently; every segment must be claimed
+// exactly once.
+func TestStealDequeExactlyOnce(t *testing.T) {
+	const (
+		segments = 4096
+		thieves  = 4
+	)
+	d := newStealDeque(0, segments)
+	var mu sync.Mutex
+	claimed := make(map[int]int, segments)
+	claim := func(seg int) {
+		mu.Lock()
+		claimed[seg]++
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1 + thieves)
+	go func() {
+		defer wg.Done()
+		for {
+			seg, ok := d.pop()
+			if !ok {
+				if d.empty() {
+					return
+				}
+				continue
+			}
+			claim(seg)
+		}
+	}()
+	for i := 0; i < thieves; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				seg, ok := d.steal()
+				if !ok {
+					if d.empty() {
+						return
+					}
+					continue
+				}
+				claim(seg)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(claimed) != segments {
+		t.Fatalf("claimed %d distinct segments, want %d", len(claimed), segments)
+	}
+	for seg, n := range claimed {
+		if n != 1 {
+			t.Fatalf("segment %d claimed %d times", seg, n)
+		}
+	}
+}

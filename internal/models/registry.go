@@ -60,6 +60,12 @@ type Entry struct {
 	// runtime can execute. Empty for models with a vocabulary of their
 	// own that no runtime layer consumes.
 	Vocabulary string
+	// Spec optionally carries the declarative source document the entry
+	// was compiled from (a spec.Doc), opaque to this package to avoid an
+	// import cycle. Layers that replace models in place read it to diff
+	// the old and new documents for incremental regeneration. Nil for
+	// hand-written models.
+	Spec any
 }
 
 // VocabularyCommit marks models whose machines react to the commit
@@ -135,6 +141,26 @@ func (r *Registry) Add(e Entry) error {
 	}
 	r.entries[e.Name] = e
 	return nil
+}
+
+// Replace registers an entry under its name whether or not the name is
+// taken, reporting whether an existing entry was replaced (false means the
+// entry was newly added). Validation matches Add. Replacement is the
+// registry half of in-place model updates (PUT /v1/models/{model}): the
+// pipeline layer is responsible for invalidating or re-linking any
+// generations cached for the previous entry.
+func (r *Registry) Replace(e Entry) (bool, error) {
+	if e.Name == "" {
+		return false, fmt.Errorf("%w: empty name", ErrInvalidEntry)
+	}
+	if e.Build == nil {
+		return false, fmt.Errorf("%w: entry %q has no builder", ErrInvalidEntry, e.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, existed := r.entries[e.Name]
+	r.entries[e.Name] = e
+	return existed, nil
 }
 
 // Remove unregisters the named entry, reporting whether it was present.

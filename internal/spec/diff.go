@@ -1,0 +1,70 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"asagen/internal/core"
+)
+
+// Diff compares an old and a new model document and returns the
+// core.ModelDelta describing how a machine generated from old must be
+// updated to obtain the machine for new. Both documents should be in
+// compiled (default-filled) form, i.e. taken from Compiled.Doc.
+//
+// The comparison is syntactic and conservative:
+//
+//   - Any change to the declared structure — name, model name, components,
+//     messages or start vector — returns a full delta: the state space
+//     itself may differ, so nothing from the old exploration can be
+//     trusted.
+//   - Otherwise the transition rules are compared message by message
+//     (document order preserved, since the first matching rule fires); a
+//     message whose rule list differs in any way — a rule added, removed,
+//     reordered or edited, including a swept parameter value inside a
+//     guard or assignment — is listed as affected.
+//   - Changes confined to documentation, describe rules, abstraction
+//     hints or parameter metadata yield an empty non-full delta: the
+//     transition structure is intact and only the machine's derived
+//     decoration needs rebuilding.
+//
+// The result feeds core.Regenerate, which re-explores only the frontier
+// region reachable through the affected messages.
+func Diff(oldDoc, newDoc Doc) core.ModelDelta {
+	if oldDoc.Name != newDoc.Name ||
+		oldDoc.ModelName != newDoc.ModelName ||
+		!jsonEqual(oldDoc.Components, newDoc.Components) ||
+		!jsonEqual(oldDoc.Messages, newDoc.Messages) ||
+		!jsonEqual(oldDoc.Start, newDoc.Start) {
+		return core.ModelDelta{Full: true}
+	}
+
+	oldRules := rulesByMessage(oldDoc)
+	newRules := rulesByMessage(newDoc)
+	var affected []string
+	for _, msg := range newDoc.Messages {
+		if !jsonEqual(oldRules[msg], newRules[msg]) {
+			affected = append(affected, msg)
+		}
+	}
+	return core.ModelDelta{Messages: affected}
+}
+
+// rulesByMessage groups the document's rules per message in document
+// order, mirroring the compiled rule index.
+func rulesByMessage(d Doc) map[string][]Rule {
+	out := make(map[string][]Rule, len(d.Messages))
+	for _, r := range d.Rules {
+		out[r.Message] = append(out[r.Message], r)
+	}
+	return out
+}
+
+// jsonEqual compares two values by canonical JSON encoding. Doc and its
+// parts marshal deterministically (struct field order), so byte equality
+// is semantic equality of the declared content.
+func jsonEqual(a, b any) bool {
+	ab, errA := json.Marshal(a)
+	bb, errB := json.Marshal(b)
+	return errA == nil && errB == nil && bytes.Equal(ab, bb)
+}

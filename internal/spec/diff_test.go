@@ -1,0 +1,246 @@
+package spec
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"asagen/internal/core"
+)
+
+// editableDoc is the randomized-edit base: a two-counter protocol with
+// enough rules per message that random adds, removes and parameter sweeps
+// keep producing valid, distinct documents.
+func editableDoc() Doc {
+	return Doc{
+		Name:         "editable",
+		DefaultParam: 5,
+		Components: []Component{
+			{Name: "pending", Kind: KindInt, Max: ParamValue(0)},
+			{Name: "acked", Kind: KindInt, Max: ParamValue(0)},
+			{Name: "open", Kind: KindBool},
+		},
+		Messages: []string{"REQ", "ACK", "CLOSE", "RESET"},
+		Rules: []Rule{
+			{
+				Message: "REQ",
+				When: []Cond{
+					{Component: "open", Op: OpEq, Value: Lit(1)},
+					{Component: "pending", Op: OpLt, Value: ParamValue(0)},
+				},
+				Set:     []Assign{{Component: "pending", Add: 1}},
+				Actions: []string{"->req"},
+			},
+			{
+				Message: "ACK",
+				When: []Cond{
+					{Component: "pending", Op: OpGt, Value: Lit(0)},
+				},
+				Set: []Assign{
+					{Component: "pending", Add: -1},
+					{Component: "acked", Add: 1},
+				},
+			},
+			{
+				Message: "CLOSE",
+				When: []Cond{
+					{Component: "acked", Op: OpGe, Value: ParamValue(-1)},
+				},
+				Actions: []string{"->closed"},
+				Finish:  true,
+			},
+			{
+				Message: "RESET",
+				Set: []Assign{
+					{Component: "pending", Set: ptrVal(Lit(0))},
+					{Component: "acked", Set: ptrVal(Lit(0))},
+					{Component: "open", Set: ptrVal(Lit(1))},
+				},
+				Actions: []string{"->reset"},
+			},
+		},
+		Start: []Value{Lit(0), Lit(0), Lit(1)},
+	}
+}
+
+func ptrVal(v Value) *Value { return &v }
+
+// randomEdit mutates a copy of the document with one of the edit kinds
+// the incremental path is specified for: rule added, rule removed, or a
+// parameter-affine value swept inside an existing rule. Describe edits
+// are mixed in to exercise the empty-delta rebuild path.
+func randomEdit(rng *rand.Rand, d Doc) Doc {
+	d.Rules = append([]Rule(nil), d.Rules...)
+	msgs := d.Messages
+	switch rng.Intn(4) {
+	case 0: // add a guarded no-progress rule in front of some rule set
+		msg := msgs[rng.Intn(len(msgs))]
+		d.Rules = append(d.Rules, Rule{
+			Message: msg,
+			When: []Cond{
+				{Component: "acked", Op: OpEq, Value: Lit(rng.Intn(4))},
+				{Component: "pending", Op: OpLe, Value: Lit(rng.Intn(4))},
+			},
+			Set:     []Assign{{Component: "open", Set: ptrVal(Lit(rng.Intn(2)))}},
+			Actions: []string{fmt.Sprintf("->edit%d", rng.Intn(1000))},
+		})
+	case 1: // remove a rule (keep at least one so CLOSE stays plausible)
+		if len(d.Rules) > 2 {
+			i := rng.Intn(len(d.Rules))
+			d.Rules = append(d.Rules[:i], d.Rules[i+1:]...)
+		}
+	case 2: // sweep a guard threshold in one rule
+		i := rng.Intn(len(d.Rules))
+		r := d.Rules[i]
+		r.When = append([]Cond(nil), r.When...)
+		r.When = append(r.When, Cond{
+			Component: "pending",
+			Op:        []string{OpLt, OpLe, OpGt, OpGe, OpNe}[rng.Intn(5)],
+			Value:     ParamValue(-rng.Intn(3)),
+		})
+		d.Rules[i] = r
+	default: // documentation-only edit
+		d.Describe = append(append([]DescribeRule(nil), d.Describe...), DescribeRule{
+			When: []Cond{{Component: "open", Op: OpEq, Value: Lit(1)}},
+			Text: fmt.Sprintf("open, pending {pending} (rev %d)", rng.Intn(1000)),
+		})
+	}
+	return d
+}
+
+// TestDiffRegenerateDifferential is the randomized differential test: a
+// chain of spec edits, each regenerated incrementally from the previous
+// machine via Diff, must match from-scratch generation fingerprint for
+// fingerprint at every step.
+func TestDiffRegenerateDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			doc := editableDoc()
+			compiled, err := Compile(doc)
+			if err != nil {
+				t.Fatalf("compile base: %v", err)
+			}
+			model, err := compiled.Model(0)
+			if err != nil {
+				t.Fatalf("model: %v", err)
+			}
+			cur, err := core.Generate(context.Background(), model)
+			if err != nil {
+				t.Fatalf("generate base: %v", err)
+			}
+			prevDoc := compiled.Doc()
+
+			for step := 0; step < 6; step++ {
+				nextDoc := randomEdit(rng, prevDoc)
+				nextCompiled, err := Compile(nextDoc)
+				if err != nil {
+					// A random removal can orphan the document (e.g. no rules
+					// left for a message is still valid, but guard against
+					// future validation tightening): skip the edit.
+					continue
+				}
+				delta := Diff(prevDoc, nextCompiled.Doc())
+				nextModel, err := nextCompiled.Model(0)
+				if err != nil {
+					t.Fatalf("step %d: model: %v", step, err)
+				}
+				inc, err := core.Regenerate(context.Background(), cur, nextModel, delta)
+				if err != nil {
+					t.Fatalf("step %d: regenerate: %v", step, err)
+				}
+				fresh, err := core.Generate(context.Background(), nextModel)
+				if err != nil {
+					t.Fatalf("step %d: generate: %v", step, err)
+				}
+				if inc.Fingerprint() != fresh.Fingerprint() {
+					t.Fatalf("step %d (delta %+v): incremental fingerprint %s != from-scratch %s",
+						step, delta, inc.Fingerprint(), fresh.Fingerprint())
+				}
+				cur, prevDoc = inc, nextCompiled.Doc()
+			}
+		})
+	}
+}
+
+func TestDiffClassification(t *testing.T) {
+	base := mustCompileDoc(t, editableDoc())
+
+	t.Run("identical docs yield empty delta", func(t *testing.T) {
+		d := Diff(base, base)
+		if d.Full || len(d.Messages) != 0 {
+			t.Fatalf("delta = %+v, want empty", d)
+		}
+	})
+	t.Run("component change is full", func(t *testing.T) {
+		edited := editableDoc()
+		edited.Components = append([]Component(nil), edited.Components...)
+		edited.Components[0].Max = ParamValue(1)
+		if d := Diff(base, mustCompileDoc(t, edited)); !d.Full {
+			t.Fatalf("delta = %+v, want full", d)
+		}
+	})
+	t.Run("message change is full", func(t *testing.T) {
+		edited := editableDoc()
+		edited.Messages = append(append([]string(nil), edited.Messages...), "EXTRA")
+		if d := Diff(base, mustCompileDoc(t, edited)); !d.Full {
+			t.Fatalf("delta = %+v, want full", d)
+		}
+	})
+	t.Run("start change is full", func(t *testing.T) {
+		edited := editableDoc()
+		edited.Start = []Value{Lit(0), Lit(0), Lit(0)}
+		if d := Diff(base, mustCompileDoc(t, edited)); !d.Full {
+			t.Fatalf("delta = %+v, want full", d)
+		}
+	})
+	t.Run("rule edit names only its message", func(t *testing.T) {
+		edited := editableDoc()
+		edited.Rules = append([]Rule(nil), edited.Rules...)
+		edited.Rules[0].Actions = []string{"->req", "->log"}
+		d := Diff(base, mustCompileDoc(t, edited))
+		if d.Full || len(d.Messages) != 1 || d.Messages[0] != "REQ" {
+			t.Fatalf("delta = %+v, want {Messages:[REQ]}", d)
+		}
+	})
+	t.Run("rule reorder affects its message", func(t *testing.T) {
+		edited := editableDoc()
+		edited.Rules = append([]Rule(nil), edited.Rules...)
+		extra := edited.Rules[1]
+		extra.Set = nil
+		edited.Rules = append(edited.Rules, extra) // second ACK rule
+		d := Diff(base, mustCompileDoc(t, edited))
+		if d.Full || len(d.Messages) != 1 || d.Messages[0] != "ACK" {
+			t.Fatalf("delta = %+v, want {Messages:[ACK]}", d)
+		}
+	})
+	t.Run("describe-only edit yields empty delta", func(t *testing.T) {
+		edited := editableDoc()
+		edited.Describe = []DescribeRule{{Text: "some doc"}}
+		d := Diff(base, mustCompileDoc(t, edited))
+		if d.Full || len(d.Messages) != 0 {
+			t.Fatalf("delta = %+v, want empty", d)
+		}
+	})
+	t.Run("metadata-only edit yields empty delta", func(t *testing.T) {
+		edited := editableDoc()
+		edited.Description = "renamed description"
+		edited.SweepParams = []int{2, 3}
+		d := Diff(base, mustCompileDoc(t, edited))
+		if d.Full || len(d.Messages) != 0 {
+			t.Fatalf("delta = %+v, want empty", d)
+		}
+	})
+}
+
+// mustCompileDoc compiles and returns the default-filled document.
+func mustCompileDoc(t *testing.T, d Doc) Doc {
+	t.Helper()
+	c, err := Compile(d)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c.Doc()
+}

@@ -87,7 +87,9 @@ func (c *Compiled) Model(param int) (core.Model, error) {
 			}
 		}
 	}
-	return &specModel{c: c, param: param}, nil
+	m := &specModel{c: c, param: param}
+	m.compile()
+	return m, nil
 }
 
 // maxOf returns the component's largest legal value at the parameter.
@@ -110,6 +112,7 @@ func (c *Compiled) Entry() models.Entry {
 		SweepParams:  append([]int(nil), c.doc.SweepParams...),
 		Vocabulary:   c.doc.Vocabulary,
 		Build:        c.Model,
+		Spec:         c.doc,
 	}
 	if c.HasEFSM() {
 		e.EFSM = c.GenerateEFSM
@@ -135,11 +138,104 @@ func (c *Compiled) GenerateEFSM(ctx context.Context, param int) (*core.EFSM, err
 	return core.GeneralizeEFSM(machine, &specAbstraction{c: c, param: param})
 }
 
+// cGuard is one compiled guard condition: the component's allowed values
+// as a packed bitset over its domain [0, max]. Evaluating a guard is a
+// single bit test, regardless of the comparison operator it compiled from.
+type cGuard struct {
+	idx   int
+	words []uint64
+}
+
+// holds reports whether the guard admits the component value.
+func (g *cGuard) holds(val int) bool {
+	return g.words[uint(val)>>6]&(1<<(uint(val)&63)) != 0
+}
+
+// cAssign is one compiled component update with the parameter resolved.
+type cAssign struct {
+	idx int
+	set bool
+	val int // the overwrite value when set, the delta otherwise
+}
+
+// cRule is one rule compiled for a concrete parameter: domain bitsets for
+// the guards, resolved assignments, and the action/annotation lists copied
+// once (empty lists normalised to nil) so Apply returns them without
+// per-call cloning.
+type cRule struct {
+	guards      []cGuard
+	sets        []cAssign
+	actions     []string
+	annotations []string
+	finish      bool
+}
+
 // specModel is one family member of a compiled spec: core.Model plus the
-// Fingerprinter extra identifying the rule set.
+// Fingerprinter extra identifying the rule set. The rule set is compiled
+// against the concrete parameter at construction, so Apply — the
+// exploration's inner loop — performs only bit tests and integer updates.
 type specModel struct {
 	c     *Compiled
 	param int
+	// maxes[i] is component i's largest legal value at the parameter.
+	maxes []int
+	// rules holds the compiled rules per message, in document order.
+	rules map[string][]cRule
+}
+
+// compile resolves every parameter-affine value and precomputes the guard
+// bitsets by evaluating each condition over its component's full domain.
+// Tautological guards (true for every domain value at this parameter) are
+// dropped entirely.
+func (m *specModel) compile() {
+	d := &m.c.doc
+	m.maxes = make([]int, len(d.Components))
+	for i, comp := range d.Components {
+		m.maxes[i] = m.c.maxOf(comp, m.param)
+	}
+	m.rules = make(map[string][]cRule, len(m.c.rulesByMsg))
+	for msg, rs := range m.c.rulesByMsg {
+		crs := make([]cRule, 0, len(rs))
+		for _, r := range rs {
+			cr := cRule{finish: r.Finish}
+			for _, cond := range r.When {
+				idx := m.c.compIdx[cond.Component]
+				max := m.maxes[idx]
+				want := cond.Value.Eval(m.param)
+				words := make([]uint64, max>>6+1)
+				all := true
+				for val := 0; val <= max; val++ {
+					if condHolds(cond.Op, val, want) {
+						words[uint(val)>>6] |= 1 << (uint(val) & 63)
+					} else {
+						all = false
+					}
+				}
+				if all {
+					continue
+				}
+				cr.guards = append(cr.guards, cGuard{idx: idx, words: words})
+			}
+			for _, a := range r.Set {
+				ca := cAssign{idx: m.c.compIdx[a.Component]}
+				if a.Set != nil {
+					ca.set = true
+					ca.val = a.Set.Eval(m.param)
+				} else {
+					ca.val = a.Add
+				}
+				cr.sets = append(cr.sets, ca)
+			}
+			if len(r.Actions) > 0 {
+				cr.actions = append([]string(nil), r.Actions...)
+			}
+			if len(r.Annotations) > 0 {
+				cr.annotations = append([]string(nil), r.Annotations...)
+			}
+			crs = append(crs, cr)
+		}
+		m.rules[msg] = crs
+	}
 }
 
 var (
@@ -191,36 +287,42 @@ func (m *specModel) holds(v core.Vector, conds []Cond) bool {
 	return true
 }
 
-// Apply implements core.Model: the message's rules are tried in document
-// order and the first rule whose guards all hold fires. A firing rule
-// whose effect would drive any component outside its declared domain
-// makes the message not applicable in that state instead — the implicit
-// range guard that keeps every expressible spec a total, well-formed
-// model (the paper's InvalidStateException path, Fig. 10): authors may
-// write an unguarded counter increment and the machine simply stops
-// reacting at the bound.
+// Apply implements core.Model: the message's compiled rules are tried in
+// document order and the first rule whose guard bitsets all admit the
+// state fires. A firing rule whose effect would drive any component
+// outside its declared domain makes the message not applicable in that
+// state instead — the implicit range guard that keeps every expressible
+// spec a total, well-formed model (the paper's InvalidStateException
+// path, Fig. 10): authors may write an unguarded counter increment and
+// the machine simply stops reacting at the bound.
+//
+// The returned action and annotation slices alias the compiled rule and
+// must not be mutated; they are immutable by construction.
 func (m *specModel) Apply(v core.Vector, msg string) (core.Effect, bool) {
-	for _, r := range m.c.rulesByMsg[msg] {
-		if !m.holds(v, r.When) {
-			continue
+rules:
+	for ri := range m.rules[msg] {
+		r := &m.rules[msg][ri]
+		for gi := range r.guards {
+			if !r.guards[gi].holds(v[r.guards[gi].idx]) {
+				continue rules
+			}
 		}
 		s := v.Clone()
-		for _, a := range r.Set {
-			idx := m.c.compIdx[a.Component]
-			if a.Set != nil {
-				s[idx] = a.Set.Eval(m.param)
+		for _, a := range r.sets {
+			if a.set {
+				s[a.idx] = a.val
 			} else {
-				s[idx] += a.Add
+				s[a.idx] += a.val
 			}
-			if s[idx] < 0 || s[idx] > m.c.maxOf(m.c.doc.Components[idx], m.param) {
+			if s[a.idx] < 0 || s[a.idx] > m.maxes[a.idx] {
 				return core.Effect{}, false
 			}
 		}
 		return core.Effect{
 			Target:      s,
-			Actions:     append([]string(nil), r.Actions...),
-			Annotations: append([]string(nil), r.Annotations...),
-			Finished:    r.Finish,
+			Actions:     r.actions,
+			Annotations: r.annotations,
+			Finished:    r.finish,
 		}, true
 	}
 	return core.Effect{}, false

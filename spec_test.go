@@ -351,3 +351,85 @@ func TestSpecModelFullSDKSurface(t *testing.T) {
 		t.Errorf("actions = %v", actions)
 	}
 }
+
+// TestUpdateModelIncrementalRegeneration is the public-facade contract
+// for in-place replacement: a rule-level edit applied through UpdateModel
+// regenerates the cached machine incrementally, and the result is
+// indistinguishable from a client that only ever saw the new spec.
+func TestUpdateModelIncrementalRegeneration(t *testing.T) {
+	ctx := context.Background()
+	client := asagen.NewClient(asagen.WithIsolatedRegistry())
+	if err := client.RegisterModel(terminationSpec("evolving")); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := client.Generate(ctx, "evolving")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rule-level edit: absorb a second TASK while active.
+	edited := func() *asagen.ModelSpec {
+		s := terminationSpec("evolving")
+		s.Rule("TASK").
+			When("active", "==", asagen.Lit(1)).
+			Set("active", asagen.Lit(1)).
+			Note("A second task while active is absorbed.")
+		return s
+	}
+	if err := client.UpdateModel(edited()); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := client.Generate(ctx, "evolving")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Fingerprint() == m2.Fingerprint() {
+		t.Error("edited spec kept the old fingerprint")
+	}
+	if got := client.Stats().IncrementalGenerations; got != 1 {
+		t.Errorf("IncrementalGenerations = %d, want 1", got)
+	}
+
+	// A client that only ever knew the edited spec must agree exactly.
+	fresh := asagen.NewClient(asagen.WithIsolatedRegistry())
+	if err := fresh.RegisterModel(edited()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Generate(ctx, "evolving")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Fingerprint() != want.Fingerprint() {
+		t.Errorf("incremental fingerprint %s != fresh client %s", m2.Fingerprint(), want.Fingerprint())
+	}
+	got, err := client.Render(ctx, asagen.Request{Model: "evolving", Format: "text"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := fresh.Render(ctx, asagen.Request{Model: "evolving", Format: "text"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, wantRes.Data) {
+		t.Error("rendered artefact differs from a fresh client's")
+	}
+	if fresh.Stats().IncrementalGenerations != 0 {
+		t.Error("fresh client unexpectedly regenerated incrementally")
+	}
+}
+
+// TestUpdateModelRegistersWhenAbsent: UpdateModel on an unknown name is a
+// plain registration.
+func TestUpdateModelRegistersWhenAbsent(t *testing.T) {
+	client := asagen.NewClient(asagen.WithIsolatedRegistry())
+	if err := client.UpdateModel(terminationSpec("brand-new")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Model("brand-new"); err != nil {
+		t.Errorf("model absent after UpdateModel: %v", err)
+	}
+	if err := client.UpdateModel(&asagen.ModelSpec{}); err == nil {
+		t.Error("UpdateModel accepted an empty spec")
+	}
+}
