@@ -4,15 +4,20 @@
 //
 // Parse mode reads the plain benchmark output (package headers included)
 // and writes one JSON record per benchmark, name-sorted so the file is
-// byte-stable for equal inputs. Repeated results for one benchmark (from
-// -count=N) are merged by taking the minimum ns/op — the noise-robust
-// estimator, since timing noise only ever adds time:
+// byte-stable for equal inputs. Besides ns/op and allocs/op, the serve
+// benchmarks' custom p50-ns/p99-ns metrics (b.ReportMetric) are captured
+// as p50_ns/p99_ns, so tail latency is inventoried and gated exactly like
+// throughput. Repeated results for one benchmark (from -count=N) are
+// merged field-wise by taking each field's minimum — the noise-robust
+// estimator, since noise only ever adds time — and a field reported by
+// only some runs keeps its reported value rather than being discarded:
 //
 //	go test -bench=. -benchtime=3x -count=5 -run='^$' ./... | tee bench.txt
 //	benchgate -parse bench.txt -o BENCH_current.json
 //
 // Compare mode fails (exit 1) when any benchmark present in both files
-// regressed in ns/op or allocs/op by more than the threshold percentage:
+// regressed in ns/op, allocs/op, p50_ns or p99_ns by more than the
+// threshold percentage:
 //
 //	benchgate -baseline BENCH_baseline.json -current BENCH_current.json -max-regression 25
 //
@@ -51,6 +56,10 @@ type Benchmark struct {
 	// AllocsPerOp is the reported allocs/op; -1 when the benchmark does
 	// not report allocations.
 	AllocsPerOp int64 `json:"allocs_per_op"`
+	// P50Ns and P99Ns are the serve benchmarks' custom latency-percentile
+	// metrics (b.ReportMetric "p50-ns"/"p99-ns"); 0 when not reported.
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
 }
 
 var (
@@ -59,6 +68,8 @@ var (
 	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op(.*)$`)
 	pkgLine   = regexp.MustCompile(`^pkg:\s+(\S+)$`)
 	allocsRe  = regexp.MustCompile(`([0-9]+) allocs/op`)
+	p50Re     = regexp.MustCompile(`([0-9.]+(?:e[+-]?\d+)?) p50-ns`)
+	p99Re     = regexp.MustCompile(`([0-9.]+(?:e[+-]?\d+)?) p99-ns`)
 )
 
 func main() {
@@ -75,7 +86,7 @@ func run(args []string, stdout io.Writer) error {
 		out       = fs.String("o", "BENCH_current.json", "JSON output path for -parse")
 		baseline  = fs.String("baseline", "", "baseline JSON for -compare mode")
 		current   = fs.String("current", "", "current JSON for -compare mode")
-		threshold = fs.Float64("max-regression", 25, "maximum tolerated ns/op regression, percent")
+		threshold = fs.Float64("max-regression", 25, "maximum tolerated regression (ns/op, allocs/op, p50_ns, p99_ns), percent")
 		minNs     = fs.Float64("min-ns", 10000, "noise floor: benchmarks under this ns/op on both sides never gate")
 		minAllocs = fs.Int64("min-allocs", 20, "allocation floor: baselines under this allocs/op never gate on allocations")
 	)
@@ -114,8 +125,10 @@ func runParse(inPath, outPath string) error {
 
 // parseBench extracts the benchmark results from `go test -bench` output,
 // qualifying names with the pkg: header lines so equally named benchmarks
-// in different packages stay distinct. Repeated results for one name keep
-// the minimum ns/op (and its allocs/op).
+// in different packages stay distinct. Repeated results for one name are
+// merged field by field, each keeping its minimum over the runs; a field
+// absent from some runs (unreported allocs, no percentile metrics) never
+// erases the value another run reported.
 func parseBench(r io.Reader) ([]Benchmark, error) {
 	byName := map[string]Benchmark{}
 	pkg := ""
@@ -141,13 +154,35 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 				return nil, fmt.Errorf("bad allocs/op in %q: %v", line, err)
 			}
 		}
+		metric := func(re *regexp.Regexp) (float64, error) {
+			pm := re.FindStringSubmatch(m[3])
+			if pm == nil {
+				return 0, nil
+			}
+			return strconv.ParseFloat(pm[1], 64)
+		}
+		p50, err := metric(p50Re)
+		if err != nil {
+			return nil, fmt.Errorf("bad p50-ns in %q: %v", line, err)
+		}
+		p99, err := metric(p99Re)
+		if err != nil {
+			return nil, fmt.Errorf("bad p99-ns in %q: %v", line, err)
+		}
 		name := m[1]
 		if pkg != "" {
 			name = pkg + ":" + name
 		}
-		if prev, ok := byName[name]; !ok || ns < prev.NsPerOp {
-			byName[name] = Benchmark{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+		prev, ok := byName[name]
+		if !ok {
+			byName[name] = Benchmark{Name: name, NsPerOp: ns, AllocsPerOp: allocs, P50Ns: p50, P99Ns: p99}
+			continue
 		}
+		prev.NsPerOp = min(prev.NsPerOp, ns)
+		prev.AllocsPerOp = minReported(prev.AllocsPerOp, allocs)
+		prev.P50Ns = minMetric(prev.P50Ns, p50)
+		prev.P99Ns = minMetric(prev.P99Ns, p99)
+		byName[name] = prev
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -158,6 +193,30 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 	}
 	sort.Slice(benches, func(i, j int) bool { return benches[i].Name < benches[j].Name })
 	return benches, nil
+}
+
+// minReported merges two allocs/op values where -1 means "not reported":
+// an unreported side never erases a reported count.
+func minReported(a, b int64) int64 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	return min(a, b)
+}
+
+// minMetric merges two optional metric values where 0 means "not
+// reported".
+func minMetric(a, b float64) float64 {
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	return min(a, b)
 }
 
 func loadJSON(path string) (map[string]Benchmark, error) {
@@ -227,7 +286,32 @@ func runCompare(basePath, curPath string, threshold, minNs float64, minAllocs in
 					fmt.Sprintf("%s: %d -> %d allocs/op (%+.1f%%, limit +%.0f%%)", name, b.AllocsPerOp, c.AllocsPerOp, allocDelta, threshold))
 			}
 		}
-		fmt.Fprintf(stdout, "%-9s %s %.0f -> %.0f ns/op (%+.1f%%)%s\n", status, name, b.NsPerOp, c.NsPerOp, delta, allocNote)
+		// Latency percentiles gate exactly like ns/op, under the same
+		// noise floor: a serve-path p99 that quietly grows past the
+		// threshold fails CI even when the mean stays flat.
+		pctNote := ""
+		for _, pct := range []struct {
+			label      string
+			base, curr float64
+		}{
+			{"p50_ns", b.P50Ns, c.P50Ns},
+			{"p99_ns", b.P99Ns, c.P99Ns},
+		} {
+			if pct.base == 0 || pct.curr == 0 {
+				continue
+			}
+			pctDelta := 100 * (pct.curr - pct.base) / pct.base
+			pctNote += fmt.Sprintf(", %.0f -> %.0f %s (%+.1f%%)", pct.base, pct.curr, pct.label, pctDelta)
+			if pct.base < minNs && pct.curr < minNs {
+				continue
+			}
+			if pctDelta > threshold {
+				status = "REGRESSED"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f -> %.0f %s (%+.1f%%, limit +%.0f%%)", name, pct.base, pct.curr, pct.label, pctDelta, threshold))
+			}
+		}
+		fmt.Fprintf(stdout, "%-9s %s %.0f -> %.0f ns/op (%+.1f%%)%s%s\n", status, name, b.NsPerOp, c.NsPerOp, delta, allocNote, pctNote)
 	}
 	for name := range base {
 		if _, ok := cur[name]; !ok {

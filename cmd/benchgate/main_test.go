@@ -227,3 +227,91 @@ func TestCompareReportsAllocDeltas(t *testing.T) {
 		t.Errorf("report missing the alloc delta:\n%s", sb.String())
 	}
 }
+
+// TestParseMergePreservesFieldsAcrossRuns: the field-wise merge keeps
+// each field's minimum independently — a run that omits allocations or
+// percentile metrics never erases the values another run reported, and
+// the fastest ns/op run does not drag its own (possibly worse) alloc
+// count along.
+func TestParseMergePreservesFieldsAcrossRuns(t *testing.T) {
+	repeated := `pkg: asagen
+BenchmarkX-8   10   900 ns/op
+BenchmarkX-8   10   1500 ns/op   7 allocs/op
+BenchmarkX-8   10   1100 ns/op   9 allocs/op
+BenchmarkY-8   10   50000 ns/op   40000 p50-ns   90000 p99-ns   12 allocs/op
+BenchmarkY-8   10   48000 ns/op   42000 p50-ns   80000 p99-ns   15 allocs/op
+BenchmarkY-8   10   52000 ns/op
+`
+	benches, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	x := byName["asagen:BenchmarkX"]
+	if x.NsPerOp != 900 || x.AllocsPerOp != 7 {
+		t.Errorf("X = %+v, want ns 900 with the min reported allocs 7", x)
+	}
+	y := byName["asagen:BenchmarkY"]
+	if y.NsPerOp != 48000 || y.AllocsPerOp != 12 || y.P50Ns != 40000 || y.P99Ns != 80000 {
+		t.Errorf("Y = %+v, want field-wise minima 48000/12/40000/80000", y)
+	}
+	if x.P50Ns != 0 || x.P99Ns != 0 {
+		t.Errorf("X percentiles = %v/%v, want 0 (never reported)", x.P50Ns, x.P99Ns)
+	}
+}
+
+// TestCompareGatesPercentiles: a p99 regression beyond the threshold
+// fails the gate even when ns/op holds steady; within the threshold it
+// is reported but passes, and entries without percentiles stay ungated.
+func TestCompareGatesPercentiles(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json",
+		`[{"name":"a:BenchmarkServe/warm","ns_per_op":90000,"allocs_per_op":90,"p50_ns":60000,"p99_ns":100000},
+		  {"name":"a:BenchmarkPlain","ns_per_op":50000,"allocs_per_op":-1}]`)
+
+	regressed := writeJSON(t, dir, "bad.json",
+		`[{"name":"a:BenchmarkServe/warm","ns_per_op":91000,"allocs_per_op":90,"p50_ns":61000,"p99_ns":140000},
+		  {"name":"a:BenchmarkPlain","ns_per_op":50000,"allocs_per_op":-1}]`)
+	var sb strings.Builder
+	err := run([]string{"-baseline", base, "-current", regressed}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "p99_ns") {
+		t.Fatalf("p99 regression passed the gate: err=%v\n%s", err, sb.String())
+	}
+
+	ok := writeJSON(t, dir, "ok.json",
+		`[{"name":"a:BenchmarkServe/warm","ns_per_op":91000,"allocs_per_op":90,"p50_ns":65000,"p99_ns":110000},
+		  {"name":"a:BenchmarkPlain","ns_per_op":50000,"allocs_per_op":-1}]`)
+	sb.Reset()
+	if err := run([]string{"-baseline", base, "-current", ok}, &sb); err != nil {
+		t.Fatalf("in-threshold percentile drift failed the gate: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "p99_ns") {
+		t.Errorf("percentile deltas not reported:\n%s", sb.String())
+	}
+
+	// A current run that lost its percentiles (e.g. ran without the serve
+	// benchmarks' metrics) is not a regression.
+	bare := writeJSON(t, dir, "bare.json",
+		`[{"name":"a:BenchmarkServe/warm","ns_per_op":91000,"allocs_per_op":90}]`)
+	sb.Reset()
+	if err := run([]string{"-baseline", base, "-current", bare}, &sb); err != nil {
+		t.Fatalf("missing percentiles failed the gate: %v\n%s", err, sb.String())
+	}
+}
+
+// TestComparePercentileNoiseFloor: percentiles under the ns/op noise
+// floor on both sides never gate.
+func TestComparePercentileNoiseFloor(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json",
+		`[{"name":"a:BenchmarkTiny","ns_per_op":50000,"allocs_per_op":-1,"p50_ns":2000,"p99_ns":4000}]`)
+	cur := writeJSON(t, dir, "cur.json",
+		`[{"name":"a:BenchmarkTiny","ns_per_op":50000,"allocs_per_op":-1,"p50_ns":5000,"p99_ns":9000}]`)
+	var sb strings.Builder
+	if err := run([]string{"-baseline", base, "-current", cur}, &sb); err != nil {
+		t.Fatalf("sub-floor percentile drift failed the gate: %v\n%s", err, sb.String())
+	}
+}

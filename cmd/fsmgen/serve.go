@@ -11,6 +11,7 @@ import (
 	"asagen/internal/artifact"
 	"asagen/internal/models"
 	"asagen/internal/render"
+	"asagen/internal/store"
 )
 
 // Serve mode: the versioned HTTP generation service (the paper's §4.2
@@ -27,6 +28,8 @@ func runServe(args []string, stdout io.Writer) error {
 		addr       = fs.String("addr", ":8091", "listen address")
 		jobs       = fs.Int("jobs", 0, "concurrent render jobs (0 = GOMAXPROCS)")
 		cacheLimit = fs.Int("cache-limit", 128, "machine cache entry bound (0 = unbounded)")
+		storeDir   = fs.String("store", "", "content-addressed artifact store directory (empty = in-memory only); a restarted server serves previously rendered artefacts from disk")
+		storeLimit = fs.Int64("store-limit", 0, "artifact store size bound in bytes (0 = unbounded); least-recently-used artefacts are evicted beyond it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -35,7 +38,21 @@ func runServe(args []string, stdout io.Writer) error {
 	// POST /v1/models registrations are never shared between concurrent
 	// servers (or with any other code in the process).
 	reg := models.Default().Clone()
-	p := artifact.New(artifact.WithJobs(*jobs), artifact.WithRegistry(reg))
+	opts := []artifact.Option{artifact.WithJobs(*jobs), artifact.WithRegistry(reg)}
+	if *storeDir != "" {
+		s, err := store.Open(*storeDir)
+		if err != nil {
+			return fmt.Errorf("open artifact store: %w", err)
+		}
+		defer s.Close()
+		if *storeLimit > 0 {
+			s.SetLimit(*storeLimit)
+		}
+		opts = append(opts, artifact.WithStore(s))
+		fmt.Fprintf(stdout, "fsmgen serve: artifact store %s (%d artefacts warm)\n",
+			s.Dir(), s.Len())
+	}
+	p := artifact.New(opts...)
 	p.Cache().SetLimit(*cacheLimit)
 	fmt.Fprintf(stdout, "fsmgen serve: listening on %s (%d models, %d formats)\n",
 		*addr, len(reg.Names()), len(render.Formats()))

@@ -24,6 +24,7 @@
 package api
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -32,6 +33,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"asagen/internal/artifact"
 	"asagen/internal/core"
@@ -313,11 +315,7 @@ func (h *Handler) handleRegisterModel(w http.ResponseWriter, r *http.Request) {
 		e = compiled.Entry()
 	}
 	w.Header().Set("Location", "/v1/models/"+compiled.Name())
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(http.StatusCreated)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(modelInfoFor(e))
+	writeJSONStatus(w, http.StatusCreated, modelInfoFor(e))
 }
 
 // handleUpdateModel serves PUT /v1/models/{model}: the body is a JSON
@@ -366,15 +364,11 @@ func (h *Handler) handleUpdateModel(w http.ResponseWriter, r *http.Request) {
 		e = compiled.Entry()
 	}
 	w.Header().Set("Location", "/v1/models/"+name)
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	if replaced {
-		w.WriteHeader(http.StatusOK)
-	} else {
-		w.WriteHeader(http.StatusCreated)
+	status := http.StatusOK
+	if !replaced {
+		status = http.StatusCreated
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(modelInfoFor(e))
+	writeJSONStatus(w, status, modelInfoFor(e))
 }
 
 // handleUnregisterModel serves DELETE /v1/models/{model}: the model is
@@ -437,19 +431,22 @@ func (h *Handler) renderArtifact(w http.ResponseWriter, r *http.Request, req art
 		return
 	}
 
-	etag := `"` + res.ContentHash() + `"`
-	w.Header().Set("ETag", etag)
-	w.Header().Set("Cache-Control", "public, max-age=3600")
-	w.Header().Set("Vary", "Accept-Encoding")
+	// The validator, length and bytes were all precomputed at render time
+	// (artifact.Result); a cache hit writes the memoised byte slice without
+	// hashing, formatting or copying anything per request.
+	header := w.Header()
+	header.Set("ETag", res.ETag)
+	header.Set("Cache-Control", "public, max-age=3600")
+	header.Set("Vary", "Accept-Encoding")
 	if !res.Fingerprint.IsZero() {
-		w.Header().Set("X-Machine-Fingerprint", res.Fingerprint.String())
+		header.Set("X-Machine-Fingerprint", res.Fingerprint.String())
 	}
-	if ifNoneMatchHas(r.Header.Get("If-None-Match"), etag) {
+	if ifNoneMatchHas(r.Header.Get("If-None-Match"), res.ETag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	w.Header().Set("Content-Type", res.Artifact.MediaType)
-	w.Header().Set("Content-Length", strconv.Itoa(len(res.Artifact.Data)))
+	header.Set("Content-Type", res.Artifact.MediaType)
+	header.Set("Content-Length", res.ContentLength)
 	w.Write(res.Artifact.Data)
 }
 
@@ -490,18 +487,23 @@ func (h *Handler) writeRenderError(w http.ResponseWriter, r *http.Request, err e
 }
 
 // ifNoneMatchHas reports whether the If-None-Match header value names the
-// ETag (or is the wildcard).
+// ETag. Comparison is RFC 9110 weak comparison — a W/ prefix on either
+// side is ignored — the wildcard `*` matches anything, and the list is
+// walked without allocating.
 func ifNoneMatchHas(header, etag string) bool {
-	if header == "" {
-		return false
-	}
-	if strings.TrimSpace(header) == "*" {
-		return true
-	}
-	for _, candidate := range strings.Split(header, ",") {
+	etag = strings.TrimPrefix(etag, "W/")
+	for header != "" {
+		var candidate string
+		if i := strings.IndexByte(header, ','); i >= 0 {
+			candidate, header = header[:i], header[i+1:]
+		} else {
+			candidate, header = header, ""
+		}
 		candidate = strings.TrimSpace(candidate)
-		candidate = strings.TrimPrefix(candidate, "W/")
-		if candidate == etag {
+		if candidate == "*" {
+			return true
+		}
+		if strings.TrimPrefix(candidate, "W/") == etag {
 			return true
 		}
 	}
@@ -518,17 +520,35 @@ type errorBody struct {
 	Message string `json:"message"`
 }
 
-func writeError(w http.ResponseWriter, status int, code, message string) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+// bufPool recycles the encode buffers behind every JSON response, so the
+// serve path's envelope writes stop allocating a fresh buffer per request
+// and every JSON response carries an exact Content-Length.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeJSONStatus encodes v through a pooled buffer and writes it with
+// the given status (0 means 200 via the implicit WriteHeader).
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(errorEnvelope{Error: errorBody{Code: code, Message: message}})
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	if status != 0 {
+		w.WriteHeader(status)
+	}
+	w.Write(buf.Bytes())
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSONStatus(w, status, errorEnvelope{Error: errorBody{Code: code, Message: message}})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	writeJSONStatus(w, 0, v)
 }

@@ -1,0 +1,148 @@
+package api
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"asagen/internal/artifact"
+	"asagen/internal/store"
+)
+
+// TestIfNoneMatchHas covers the RFC 9110 comparison corners: weak
+// validators on either side, multi-element lists, the wildcard, and the
+// malformed values that must never match.
+func TestIfNoneMatchHas(t *testing.T) {
+	const etag = `"abc123"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{``, false},
+		{`"abc123"`, true},
+		{`W/"abc123"`, true}, // weak validator matches its strong form
+		{`"zzz", "abc123"`, true},
+		{`"zzz" , W/"abc123"`, true}, // spaces around separators
+		{`"zzz", "yyy"`, false},
+		{`*`, true},
+		{` * `, true},
+		{`"zzz", *`, true}, // wildcard anywhere in the list
+		{`abc123`, false},  // unquoted value is not the validator
+		{`"abc1234"`, false},
+		{`"abc"`, false},
+		{`W/"zzz"`, false},
+		{`W/`, false},
+		{`,`, false},
+		{`""`, false},
+	}
+	for _, c := range cases {
+		if got := ifNoneMatchHas(c.header, etag); got != c.want {
+			t.Errorf("ifNoneMatchHas(%q, %q) = %v, want %v", c.header, etag, got, c.want)
+		}
+	}
+	// A weak ETag on the server side compares weakly too.
+	if !ifNoneMatchHas(`"abc123"`, `W/"abc123"`) {
+		t.Error(`strong candidate did not match weak server validator`)
+	}
+}
+
+// TestConditionalRequestsOnHotPath: the precomputed-Result fast path keeps
+// the conditional contract — same ETag across hot hits, 304 with no body
+// for matching validators (weak or listed), full response otherwise.
+func TestConditionalRequestsOnHotPath(t *testing.T) {
+	p := artifact.New()
+	ts := httptest.NewServer(NewHandler(p))
+	defer ts.Close()
+	const path = "/v1/models/commit/artifacts/text"
+
+	first, body := get(t, ts, path, nil)
+	if first.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("prime request: %d %q", first.StatusCode, body)
+	}
+	etag := first.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on the prime response")
+	}
+
+	// The repeat request is a hot-memo hit; its validator must not change.
+	second, body2 := get(t, ts, path, nil)
+	if second.Header.Get("ETag") != etag || body2 != body {
+		t.Fatalf("hot hit diverged: etag %q vs %q", second.Header.Get("ETag"), etag)
+	}
+	if got, want := second.Header.Get("Content-Length"), first.Header.Get("Content-Length"); got != want || got == "" {
+		t.Fatalf("hot hit Content-Length = %q, want %q", got, want)
+	}
+
+	for _, header := range []string{etag, "W/" + etag, `"stale", ` + etag, "*"} {
+		resp, body := get(t, ts, path, http.Header{"If-None-Match": []string{header}})
+		if resp.StatusCode != http.StatusNotModified {
+			t.Errorf("If-None-Match %q: status %d, want 304", header, resp.StatusCode)
+		}
+		if body != "" {
+			t.Errorf("If-None-Match %q: 304 carried a body (%d bytes)", header, len(body))
+		}
+		if resp.Header.Get("ETag") != etag {
+			t.Errorf("If-None-Match %q: 304 ETag = %q, want %q", header, resp.Header.Get("ETag"), etag)
+		}
+	}
+	for _, header := range []string{`"stale"`, `W/"stale"`} {
+		resp, body := get(t, ts, path, http.Header{"If-None-Match": []string{header}})
+		if resp.StatusCode != http.StatusOK || body != body2 {
+			t.Errorf("If-None-Match %q: %d (%d bytes), want full 200", header, resp.StatusCode, len(body))
+		}
+	}
+}
+
+// TestServeRestartWarmth is the handler-level restart acceptance check: a
+// server restarted over the same store directory answers its first
+// request from disk — byte- and validator-identical, zero generations.
+func TestServeRestartWarmth(t *testing.T) {
+	dir := t.TempDir()
+	const path = "/v1/models/termination/artifacts/dot?r=5"
+
+	s1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := artifact.New(artifact.WithStore(s1))
+	ts1 := httptest.NewServer(NewHandler(p1))
+	first, body1 := get(t, ts1, path, nil)
+	ts1.Close()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("pre-restart: %d %q", first.StatusCode, body1)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	p2 := artifact.New(artifact.WithStore(s2))
+	ts2 := httptest.NewServer(NewHandler(p2))
+	defer ts2.Close()
+
+	second, body2 := get(t, ts2, path, nil)
+	if second.StatusCode != http.StatusOK || body2 != body1 {
+		t.Fatalf("post-restart response diverged: %d, %d vs %d bytes", second.StatusCode, len(body2), len(body1))
+	}
+	for _, hdr := range []string{"ETag", "Content-Type", "Content-Length", "X-Machine-Fingerprint"} {
+		if second.Header.Get(hdr) != first.Header.Get(hdr) {
+			t.Errorf("%s diverged across restart: %q vs %q", hdr, second.Header.Get(hdr), first.Header.Get(hdr))
+		}
+	}
+	st := p2.Stats()
+	if st.Machine.Generations != 0 {
+		t.Errorf("restarted server generated %d machines, want 0 (disk-warm)", st.Machine.Generations)
+	}
+	if st.Store == nil || st.Store.Hits == 0 {
+		t.Errorf("restarted server recorded no store hit: %+v", st.Store)
+	}
+	// The pre-restart validator still short-circuits to 304.
+	resp, _ := get(t, ts2, path, http.Header{"If-None-Match": []string{first.Header.Get("ETag")}})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("conditional request after restart: %d, want 304", resp.StatusCode)
+	}
+}

@@ -6,6 +6,15 @@
 // the codegen example: one generation per distinct fingerprint no matter
 // how many formats or concurrent requests consume it (§4.2's cached
 // generation policy, industrialised).
+//
+// Two layers sit under the render memo for the serve path. A hot-result
+// memo keyed by the raw request answers repeat requests with a fully
+// precomputed Result (shared bytes, content hash, ETag) without touching
+// the registry, and coalesces concurrent misses on the same request into
+// one computation. Below it, an optional content-addressed on-disk store
+// (WithStore) persists every rendered artefact, so a pipeline reopened
+// over a warm store serves previously rendered artefacts from disk
+// without regenerating machines.
 package artifact
 
 import (
@@ -15,11 +24,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"asagen/internal/core"
 	"asagen/internal/models"
 	"asagen/internal/render"
+	"asagen/internal/store"
 )
 
 // Errors classifying request failures, for callers (such as the serve
@@ -46,7 +57,8 @@ type Request struct {
 	Format string
 }
 
-// Result is the outcome of one request.
+// Result is the outcome of one request. Results are shared between
+// concurrent and repeat callers; treat Artifact.Data as immutable.
 type Result struct {
 	// Request echoes the request with Param resolved to the effective
 	// parameter value.
@@ -58,6 +70,14 @@ type Result struct {
 	Artifact render.Artifact
 	// Sum is the SHA-256 of the artefact content, for content addressing.
 	Sum [sha256.Size]byte
+	// ETag is the strong HTTP entity validator for the artefact content
+	// (the quoted hex Sum), precomputed at render time so the serve path
+	// never re-derives it per request. Empty when Err is set.
+	ETag string
+	// ContentLength is the decimal rendering of len(Artifact.Data),
+	// precomputed at render time for the same reason. Empty when Err is
+	// set.
+	ContentLength string
 	// Err is the failure, classified by the package's sentinel errors.
 	Err error
 }
@@ -79,8 +99,14 @@ type Stats struct {
 	// Machine reports the generation cache: at most one generation per
 	// distinct model fingerprint, however many formats consume it.
 	Machine core.CacheStats
-	// RenderHits and RenderMisses count rendered-artefact memo lookups.
+	// RenderHits and RenderMisses count rendered-artefact memo lookups;
+	// hits answered by the hot-result memo count here too.
 	RenderHits, RenderMisses int64
+	// HotHits counts requests answered entirely from the precomputed
+	// hot-result memo — no registry lookup, no hashing, no render memo.
+	HotHits int64
+	// Store reports the on-disk artifact store; nil when none is attached.
+	Store *store.Stats
 }
 
 // Pipeline renders (model × format) requests with memoised generation and
@@ -90,10 +116,20 @@ type Pipeline struct {
 	genOpts []core.Option
 	cache   *core.Cache
 	reg     *models.Registry
+	store   *store.Store
 
 	mu      sync.Mutex
 	efsms   map[efsmKey]*efsmEntry
 	renders map[renderKey]*renderEntry
+	// hot maps raw and resolved requests to complete successful Results,
+	// the zero-work fast path for repeat serve traffic; flights coalesces
+	// concurrent misses on one raw request into a single computation.
+	hot     map[Request]Result
+	flights map[Request]*flight
+	// epoch guards the hot memo and the store against stale repopulation:
+	// Purge, PurgeModel and UpdateModel bump it, and a computation begun
+	// under an older epoch never writes its result back.
+	epoch uint64
 	// modelFPs records, per registry name, the machine fingerprints the
 	// pipeline generated for it and the parameter each was generated at,
 	// so PurgeModel can evict a dynamically unregistered model's
@@ -102,7 +138,7 @@ type Pipeline struct {
 	// incremental regeneration.
 	modelFPs map[string]map[core.Fingerprint]int
 
-	renderHits, renderMisses int64
+	renderHits, renderMisses, hotHits int64
 }
 
 type efsmKey struct {
@@ -129,11 +165,28 @@ type renderKey struct {
 	format string
 }
 
-type renderEntry struct {
-	once sync.Once
+// rendered is the memoised outcome of one successful render: the artefact
+// plus every piece of serving metadata precomputed once.
+type rendered struct {
 	art  render.Artifact
 	sum  [sha256.Size]byte
+	etag string
+	clen string
+}
+
+// renderEntry memoises one rendered artefact; done is closed when the
+// remaining fields are final.
+type renderEntry struct {
+	done chan struct{}
+	out  rendered
 	err  error
+}
+
+// flight coalesces concurrent misses on one raw request: the first caller
+// computes, the rest wait on done and share the Result.
+type flight struct {
+	done chan struct{}
+	res  Result
 }
 
 // Option configures a Pipeline.
@@ -174,6 +227,16 @@ func WithRegistry(r *models.Registry) Option {
 	}
 }
 
+// WithStore layers a content-addressed on-disk artifact store under the
+// render memo. Every artefact rendered is persisted, and a render-memo
+// miss probes the store before generating: a pipeline opened over a warm
+// store serves previously rendered artefacts from disk — the first
+// request after a restart is a disk hit, not a regeneration. The caller
+// retains ownership of the store (Close it after the pipeline is done).
+func WithStore(s *store.Store) Option {
+	return func(p *Pipeline) { p.store = s }
+}
+
 // New returns a pipeline with the given options.
 func New(opts ...Option) *Pipeline {
 	p := &Pipeline{
@@ -181,6 +244,8 @@ func New(opts ...Option) *Pipeline {
 		reg:      models.Default(),
 		efsms:    make(map[efsmKey]*efsmEntry),
 		renders:  make(map[renderKey]*renderEntry),
+		hot:      make(map[Request]Result),
+		flights:  make(map[Request]*flight),
 		modelFPs: make(map[string]map[core.Fingerprint]int),
 	}
 	for _, opt := range opts {
@@ -200,31 +265,48 @@ func (p *Pipeline) Cache() *core.Cache { return p.cache }
 // names against.
 func (p *Pipeline) Registry() *models.Registry { return p.reg }
 
+// Store returns the attached artifact store; nil when none.
+func (p *Pipeline) Store() *store.Store { return p.store }
+
 // Stats returns a snapshot of the pipeline's cache counters.
 func (p *Pipeline) Stats() Stats {
+	var st *store.Stats
+	if p.store != nil {
+		s := p.store.Stats()
+		st = &s
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return Stats{
 		Machine:      p.cache.Stats(),
 		RenderHits:   p.renderHits,
 		RenderMisses: p.renderMisses,
+		HotHits:      p.hotHits,
+		Store:        st,
 	}
 }
 
-// Purge drops every memoised machine, EFSM and rendered artefact.
+// Purge drops every memoised machine, EFSM and rendered artefact,
+// including the rows and blobs of an attached store.
 func (p *Pipeline) Purge() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.cache.Purge()
 	p.efsms = make(map[efsmKey]*efsmEntry)
 	p.renders = make(map[renderKey]*renderEntry)
+	p.hot = make(map[Request]Result)
 	p.modelFPs = make(map[string]map[core.Fingerprint]int)
+	p.epoch++
+	p.mu.Unlock()
+	if p.store != nil {
+		p.store.Purge()
+	}
 }
 
 // PurgeModel drops every memoised machine, EFSM and rendered artefact
-// produced for one registry name, returning the number of machine
-// generations evicted. Called when a dynamically registered model is
-// unregistered, so a later registration under the same name can never
+// produced for one registry name — in-memory memos and, when a store is
+// attached, its on-disk blobs and index rows — returning the number of
+// machine generations evicted. Called when a dynamically registered model
+// is unregistered, so a later registration under the same name can never
 // observe the departed model's cached work.
 func (p *Pipeline) PurgeModel(name string) int {
 	p.mu.Lock()
@@ -244,6 +326,12 @@ func (p *Pipeline) PurgeModel(name string) int {
 			delete(p.efsms, key)
 		}
 	}
+	for req := range p.hot {
+		if req.Model == name {
+			delete(p.hot, req)
+		}
+	}
+	p.epoch++
 	p.mu.Unlock()
 
 	dropped := 0
@@ -252,25 +340,102 @@ func (p *Pipeline) PurgeModel(name string) int {
 			dropped++
 		}
 	}
+	if p.store != nil {
+		p.store.EvictModel(name, fpHexSet(fps))
+	}
 	return dropped
 }
 
-// Render produces the artefact for one request. Generation is memoised
-// per model fingerprint and rendering per (fingerprint, format), both
-// single-flight: concurrent first requests share one computation.
+// fpHexSet renders a fingerprint set in the store's hex key form.
+func fpHexSet(fps map[core.Fingerprint]int) map[string]bool {
+	if len(fps) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(fps))
+	for fp := range fps {
+		set[fp.String()] = true
+	}
+	return set
+}
+
+// isCancellation reports whether err stems from context cancellation, the
+// one error class that is never memoised.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// etagFor renders the strong HTTP entity validator for a content sum.
+func etagFor(sum [sha256.Size]byte) string {
+	return `"` + hex.EncodeToString(sum[:]) + `"`
+}
+
+// Render produces the artefact for one request. Repeat requests are
+// answered from a precomputed hot memo; concurrent first requests for the
+// same raw request coalesce into one computation. Below that, generation
+// is memoised per model fingerprint and rendering per (fingerprint,
+// format), both single-flight, with an optional on-disk store probed
+// before machines are generated.
 //
 // Cancelling ctx aborts an in-flight generation promptly; the aborted
-// generation leaves no cache entry, and Result.Err carries ctx.Err(). A
-// nil ctx is treated as context.Background().
+// computation leaves no cache entry, and Result.Err carries ctx.Err().
+// Waiters coalesced behind a leader that was cancelled retry with their
+// own context rather than inheriting the leader's cancellation. A nil ctx
+// is treated as context.Background().
 func (p *Pipeline) Render(ctx context.Context, req Request) Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res := Result{Request: req}
 	if err := ctx.Err(); err != nil {
-		res.Err = err
+		return Result{Request: req, Err: err}
+	}
+	for {
+		p.mu.Lock()
+		if res, ok := p.hot[req]; ok {
+			p.renderHits++
+			p.hotHits++
+			p.mu.Unlock()
+			return res
+		}
+		f, waiting := p.flights[req]
+		if !waiting {
+			f = &flight{done: make(chan struct{})}
+			p.flights[req] = f
+		}
+		epoch := p.epoch
+		p.mu.Unlock()
+
+		if waiting {
+			select {
+			case <-f.done:
+				if isCancellation(f.res.Err) && ctx.Err() == nil {
+					continue // the leader was cancelled, not us: retry
+				}
+				return f.res
+			case <-ctx.Done():
+				return Result{Request: req, Err: ctx.Err()}
+			}
+		}
+
+		res := p.render(ctx, req)
+		p.mu.Lock()
+		if cur, ok := p.flights[req]; ok && cur == f {
+			delete(p.flights, req)
+		}
+		if res.Err == nil && p.epoch == epoch {
+			p.hot[req] = res
+			p.hot[res.Request] = res
+		}
+		p.mu.Unlock()
+		f.res = res
+		close(f.done)
 		return res
 	}
+}
+
+// render is the slow path behind the hot memo: resolve the request
+// against the registry and produce the artefact through the render memo.
+func (p *Pipeline) render(ctx context.Context, req Request) Result {
+	res := Result{Request: req}
 	entry, err := p.reg.Get(req.Model)
 	if err != nil {
 		res.Err = fmt.Errorf("%w: %q (known: %v)", ErrUnknownModel, req.Model, p.reg.Names())
@@ -290,22 +455,23 @@ func (p *Pipeline) Render(ctx context.Context, req Request) Result {
 			res.Err = fmt.Errorf("%w: %q", ErrNoEFSM, req.Model)
 			return res
 		}
-		efsm, err := p.efsmFor(ctx, entry, req.Param)
-		if err != nil {
-			res.Err = err
-			return res
-		}
 		key := renderKey{model: req.Model, param: req.Param, format: req.Format}
-		res.Artifact, res.Sum, res.Err = p.renderMemo(key, func() (render.Artifact, error) {
-			r, err := render.NewEFSM(req.Format)
+		skey := store.Key{Model: req.Model, Param: req.Param, Format: req.Format}
+		res.apply(p.renderMemo(ctx, key, skey, func() (render.Artifact, error) {
+			efsm, err := p.efsmFor(ctx, entry, req.Param)
 			if err != nil {
 				return render.Artifact{}, err
 			}
-			return r.RenderEFSM(efsm)
-		})
-		if res.Err != nil {
-			res.Err = fmt.Errorf("%w: %v", ErrRender, res.Err)
-		}
+			r, err := render.NewEFSM(req.Format)
+			if err != nil {
+				return render.Artifact{}, fmt.Errorf("%w: %v", ErrRender, err)
+			}
+			a, err := r.RenderEFSM(efsm)
+			if err != nil {
+				return render.Artifact{}, fmt.Errorf("%w: %v", ErrRender, err)
+			}
+			return a, nil
+		}))
 		return res
 	}
 
@@ -316,23 +482,29 @@ func (p *Pipeline) Render(ctx context.Context, req Request) Result {
 	}
 	res.Fingerprint = p.cache.Fingerprint(model)
 	p.recordFingerprint(req.Model, req.Param, res.Fingerprint)
-	machine, err := p.cache.MachineForFingerprint(ctx, res.Fingerprint, model)
-	if err != nil {
-		res.Err = err
-		return res
-	}
 	key := renderKey{fp: res.Fingerprint, format: req.Format}
-	res.Artifact, res.Sum, res.Err = p.renderMemo(key, func() (render.Artifact, error) {
-		r, err := render.New(req.Format)
+	skey := store.Key{Model: req.Model, Param: req.Param, Format: req.Format, Fingerprint: res.Fingerprint.String()}
+	res.apply(p.renderMemo(ctx, key, skey, func() (render.Artifact, error) {
+		machine, err := p.cache.MachineForFingerprint(ctx, res.Fingerprint, model)
 		if err != nil {
 			return render.Artifact{}, err
 		}
-		return r.Render(machine)
-	})
-	if res.Err != nil {
-		res.Err = fmt.Errorf("%w: %v", ErrRender, res.Err)
-	}
+		r, err := render.New(req.Format)
+		if err != nil {
+			return render.Artifact{}, fmt.Errorf("%w: %v", ErrRender, err)
+		}
+		a, err := r.Render(machine)
+		if err != nil {
+			return render.Artifact{}, fmt.Errorf("%w: %v", ErrRender, err)
+		}
+		return a, nil
+	}))
 	return res
+}
+
+// apply copies a memoised render outcome into the Result.
+func (r *Result) apply(out rendered, err error) {
+	r.Artifact, r.Sum, r.ETag, r.ContentLength, r.Err = out.art, out.sum, out.etag, out.clen, err
 }
 
 // efsmFor memoises the EFSM generalisation per (model, param),
@@ -357,7 +529,7 @@ func (p *Pipeline) efsmFor(ctx context.Context, entry models.Entry, param int) (
 	p.mu.Unlock()
 
 	e.efsm, e.err = entry.EFSM(ctx, param)
-	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+	if e.err != nil && isCancellation(e.err) {
 		p.mu.Lock()
 		if cur, ok := p.efsms[key]; ok && cur == e {
 			delete(p.efsms, key)
@@ -395,14 +567,14 @@ func (p *Pipeline) recordFingerprint(model string, param int, fp core.Fingerprin
 // UpdateModel replaces the registry entry under entry.Name in place,
 // reporting whether a previous entry existed (false means the model was
 // newly registered). Rendered artefacts and EFSMs derived from the
-// previous entry are purged; generated machines are kept and, when delta
-// permits (see core.Cache.LinkDelta), each previously generated family
-// member is linked so its replacement's first generation regenerates
-// incrementally from the cached machine instead of exploring from
-// scratch. The delta must conservatively describe the edit from the
-// previous entry's model to the new one (spec.Diff produces it for
-// declarative specs); pass a full delta when the relationship between the
-// entries is unknown.
+// previous entry are purged (from the store too, when one is attached);
+// generated machines are kept and, when delta permits (see
+// core.Cache.LinkDelta), each previously generated family member is
+// linked so its replacement's first generation regenerates incrementally
+// from the cached machine instead of exploring from scratch. The delta
+// must conservatively describe the edit from the previous entry's model
+// to the new one (spec.Diff produces it for declarative specs); pass a
+// full delta when the relationship between the entries is unknown.
 func (p *Pipeline) UpdateModel(entry models.Entry, delta core.ModelDelta) (bool, error) {
 	oldEntry, oldErr := p.reg.Get(entry.Name)
 	replaced, err := p.reg.Replace(entry)
@@ -433,7 +605,17 @@ func (p *Pipeline) UpdateModel(entry models.Entry, delta core.ModelDelta) (bool,
 			delete(p.efsms, key)
 		}
 	}
+	for req := range p.hot {
+		if req.Model == entry.Name {
+			delete(p.hot, req)
+		}
+	}
+	p.epoch++
 	p.mu.Unlock()
+
+	if p.store != nil {
+		p.store.EvictModel(entry.Name, fpHexSet(old))
+	}
 
 	if !replaced || oldErr != nil || delta.IsFull() {
 		return replaced, nil
@@ -464,25 +646,73 @@ func (p *Pipeline) UpdateModel(entry models.Entry, delta core.ModelDelta) (bool,
 	return replaced, nil
 }
 
-// renderMemo memoises one rendered artefact, single-flight.
-func (p *Pipeline) renderMemo(key renderKey, produce func() (render.Artifact, error)) (render.Artifact, [sha256.Size]byte, error) {
-	p.mu.Lock()
-	e, ok := p.renders[key]
-	if ok {
-		p.renderHits++
-	} else {
-		p.renderMisses++
-		e = &renderEntry{}
-		p.renders[key] = e
-	}
-	p.mu.Unlock()
-	e.once.Do(func() {
-		e.art, e.err = produce()
-		if e.err == nil {
-			e.sum = sha256.Sum256(e.art.Data)
+// renderMemo memoises one rendered artefact, single-flight. The leader
+// probes the attached store before producing — a disk hit skips
+// generation entirely — and persists what it produces, unless a purge
+// advanced the epoch while it ran. A production aborted by context
+// cancellation is dropped rather than memoised, and waiters whose own
+// context is still live retry as the new leader.
+func (p *Pipeline) renderMemo(ctx context.Context, key renderKey, skey store.Key, produce func() (render.Artifact, error)) (rendered, error) {
+	for {
+		p.mu.Lock()
+		e, ok := p.renders[key]
+		if ok {
+			p.renderHits++
+			p.mu.Unlock()
+			select {
+			case <-e.done:
+				if isCancellation(e.err) && ctx.Err() == nil {
+					continue // the leader was cancelled, not us: retry
+				}
+				return e.out, e.err
+			case <-ctx.Done():
+				return rendered{}, ctx.Err()
+			}
 		}
-	})
-	return e.art, e.sum, e.err
+		p.renderMisses++
+		e = &renderEntry{done: make(chan struct{})}
+		p.renders[key] = e
+		epoch := p.epoch
+		p.mu.Unlock()
+
+		if p.store != nil {
+			if data, sum, media, ext, ok := p.store.Get(skey); ok {
+				e.out = rendered{
+					art:  render.Artifact{Format: key.format, MediaType: media, Ext: ext, Data: data},
+					sum:  sum,
+					etag: etagFor(sum),
+					clen: strconv.Itoa(len(data)),
+				}
+				close(e.done)
+				return e.out, nil
+			}
+		}
+		var art render.Artifact
+		art, e.err = produce()
+		switch {
+		case e.err == nil:
+			sum := sha256.Sum256(art.Data)
+			e.out = rendered{art: art, sum: sum, etag: etagFor(sum), clen: strconv.Itoa(len(art.Data))}
+			if p.store != nil {
+				p.mu.Lock()
+				fresh := p.epoch == epoch
+				p.mu.Unlock()
+				if fresh {
+					// Persist errors degrade to an unpersisted artefact and
+					// are counted by the store; the response is unaffected.
+					_ = p.store.Put(skey, art.Data, sum, art.MediaType, art.Ext)
+				}
+			}
+		case isCancellation(e.err):
+			p.mu.Lock()
+			if cur, ok := p.renders[key]; ok && cur == e {
+				delete(p.renders, key)
+			}
+			p.mu.Unlock()
+		}
+		close(e.done)
+		return e.out, e.err
+	}
 }
 
 // RenderAll renders every request concurrently under the pipeline's

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"hash"
+	"sync"
 )
 
 // This file implements deterministic fingerprints for abstract models and
@@ -54,9 +55,25 @@ func (w *fpWriter) writeStrings(ss []string) {
 	}
 }
 
+// fpPool recycles fingerprint writers: fingerprinting runs on every
+// cache lookup (the serve hot path), so the hasher, writer and scratch
+// buffer are reused instead of allocated per call.
+var fpPool = sync.Pool{New: func() any {
+	return &fpWriter{h: sha256.New(), buf: make([]byte, 0, 64)}
+}}
+
+func newFPWriter() *fpWriter {
+	w := fpPool.Get().(*fpWriter)
+	w.h.Reset()
+	return w
+}
+
+// sum finalises the hash into a stack-allocated Fingerprint and returns
+// the writer to the pool; w must not be used afterwards.
 func (w *fpWriter) sum() Fingerprint {
 	var f Fingerprint
-	copy(f[:], w.h.Sum(nil))
+	w.h.Sum(f[:0])
+	fpPool.Put(w)
 	return f
 }
 
@@ -86,7 +103,7 @@ type Fingerprinter interface {
 // serial exploration, so worker count must not fragment the cache.
 func FingerprintModel(m Model, opts ...Option) Fingerprint {
 	cfg := newGenConfig(opts)
-	w := &fpWriter{h: sha256.New()}
+	w := newFPWriter()
 	w.writeString("asagen/model-fingerprint/v1")
 	w.writeString(m.Name())
 	w.writeInt(m.Parameter())
@@ -133,7 +150,7 @@ func FingerprintModel(m Model, opts ...Option) Fingerprint {
 // and every transition with its actions. Two machines with equal
 // fingerprints render to identical artefacts in every format.
 func (m *StateMachine) Fingerprint() Fingerprint {
-	w := &fpWriter{h: sha256.New()}
+	w := newFPWriter()
 	w.writeString("asagen/machine-fingerprint/v1")
 	w.writeString(m.ModelName)
 	w.writeInt(m.Parameter)

@@ -1,0 +1,156 @@
+package latency
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestSmallValuesAreExact(t *testing.T) {
+	var h Histogram
+	for v := 0; v < subCount; v++ {
+		h.Record(time.Duration(v))
+	}
+	if h.Count() != subCount || h.Min() != 0 || h.Max() != subCount-1 {
+		t.Fatalf("summary: %s", h.String())
+	}
+	// Below subCount every value has its own bucket, so quantiles are
+	// exact.
+	for _, q := range []float64{0.25, 0.5, 0.75, 1} {
+		want := time.Duration(math.Ceil(q*subCount)) - 1
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every bucket's upper bound must map back into the same bucket, and
+	// the next value into the next bucket.
+	for idx := 0; idx < 40*subCount; idx++ {
+		upper := bucketUpper(idx)
+		if got := bucketIndex(upper); got != idx {
+			t.Fatalf("bucketIndex(bucketUpper(%d)=%d) = %d", idx, upper, got)
+		}
+		if got := bucketIndex(upper + 1); got != idx+1 {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", upper+1, got, idx+1)
+		}
+	}
+}
+
+// TestQuantileErrorBound: against an exact sorted sample, every quantile is
+// within the log-linear resolution (1/32 relative) of the true value.
+func TestQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	exact := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Mix of microsecond and millisecond scales, like a real latency
+		// distribution with a tail.
+		v := int64(rng.ExpFloat64() * 120_000)
+		if rng.Intn(100) == 0 {
+			v += int64(rng.ExpFloat64() * 5_000_000)
+		}
+		exact = append(exact, v)
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(len(exact)))) - 1
+		want := float64(exact[rank])
+		got := float64(h.Quantile(q))
+		if want == 0 {
+			continue
+		}
+		if rel := math.Abs(got-want) / want; rel > 1.0/subCount {
+			t.Errorf("Quantile(%v) = %.0f, exact %.0f, rel err %.3f > %.3f",
+				q, got, want, rel, 1.0/subCount)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Errorf("Quantile(1) = %v, want max %v", h.Quantile(1), h.Max())
+	}
+}
+
+func TestMergeMatchesCombinedRecording(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, combined Histogram
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rng.Int63n(10_000_000))
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		combined.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != combined.Count() || a.Min() != combined.Min() || a.Max() != combined.Max() || a.Mean() != combined.Mean() {
+		t.Fatalf("merged %s != combined %s", a.String(), combined.String())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != combined.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %v != combined %v", q, a.Quantile(q), combined.Quantile(q))
+		}
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var a, b Histogram
+	b.Record(5 * time.Millisecond)
+	b.Record(1 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Min() != 1*time.Millisecond || a.Max() != 5*time.Millisecond {
+		t.Fatalf("merged into empty: %s", a.String())
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 2 {
+		t.Fatalf("Merge(nil) changed count: %d", a.Count())
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram: %s", h.String())
+	}
+}
+
+func TestNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative record: %s", h.String())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(rng.Int63n(50_000_000)))
+	}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() || back.Min() != h.Min() || back.Max() != h.Max() || back.Mean() != h.Mean() {
+		t.Fatalf("round trip %s != %s", back.String(), h.String())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if back.Quantile(q) != h.Quantile(q) {
+			t.Errorf("Quantile(%v): %v != %v", q, back.Quantile(q), h.Quantile(q))
+		}
+	}
+	// Bad bucket index rejected.
+	if err := json.Unmarshal([]byte(`{"count":1,"buckets":[[99999,1]]}`), &back); err == nil {
+		t.Error("out-of-range bucket index accepted")
+	}
+}

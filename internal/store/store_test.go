@@ -1,0 +1,375 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func put(t *testing.T, s *Store, key Key, content string) [sha256.Size]byte {
+	t.Helper()
+	sum := sha256.Sum256([]byte(content))
+	if err := s.Put(key, []byte(content), sum, "text/plain", ".txt"); err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+func machineKey(model, fp, format string) Key {
+	return Key{Model: model, Param: 4, Format: format, Fingerprint: fp}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	key := machineKey("commit", "aabb", "text")
+	sum := put(t, s, key, "machine artefact")
+
+	data, gotSum, media, ext, ok := s.Get(key)
+	if !ok {
+		t.Fatal("Get missed a just-written key")
+	}
+	if string(data) != "machine artefact" || gotSum != sum || media != "text/plain" || ext != ".txt" {
+		t.Fatalf("Get = %q/%x/%s/%s", data, gotSum, media, ext)
+	}
+	if _, _, _, _, ok := s.Get(machineKey("commit", "other", "text")); ok {
+		t.Fatal("Get hit an absent fingerprint")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEFSMKeysAreModelScoped(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	put(t, s, Key{Model: "a", Param: 4, Format: "efsm"}, "efsm-a")
+	put(t, s, Key{Model: "b", Param: 4, Format: "efsm"}, "efsm-b")
+	data, _, _, _, ok := s.Get(Key{Model: "b", Param: 4, Format: "efsm"})
+	if !ok || string(data) != "efsm-b" {
+		t.Fatalf("Get(b) = %q, %v", data, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+// TestReopenServesPreviousWrites: the restart-warmth core — a fresh Store
+// over the same directory serves every previously written artefact.
+func TestReopenServesPreviousWrites(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	keys := make([]Key, 0, 8)
+	for i := 0; i < 8; i++ {
+		key := machineKey("commit", fmt.Sprintf("fp%02d", i), "text")
+		put(t, s, key, fmt.Sprintf("content %d", i))
+		keys = append(keys, key)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened := mustOpen(t, dir)
+	if reopened.Len() != len(keys) {
+		t.Fatalf("reopened Len = %d, want %d", reopened.Len(), len(keys))
+	}
+	for i, key := range keys {
+		data, _, _, _, ok := reopened.Get(key)
+		if !ok || string(data) != fmt.Sprintf("content %d", i) {
+			t.Fatalf("reopened Get(%v) = %q, %v", key, data, ok)
+		}
+	}
+}
+
+// TestReopenIgnoresTornTailLine: a crash mid-append leaves a partial JSON
+// line; replay must drop it and keep everything before it.
+func TestReopenIgnoresTornTailLine(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	key := machineKey("commit", "feed", "text")
+	put(t, s, key, "survives")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "index.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"put","model":"torn","fo`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reopened := mustOpen(t, dir)
+	if reopened.Len() != 1 {
+		t.Fatalf("Len after torn tail = %d, want 1", reopened.Len())
+	}
+	if _, _, _, _, ok := reopened.Get(key); !ok {
+		t.Fatal("intact row lost after torn tail")
+	}
+}
+
+// TestReopenDropsRowsWithMissingBlobs: an index row whose blob vanished is
+// dead on replay, not a latent serving error.
+func TestReopenDropsRowsWithMissingBlobs(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	key := machineKey("commit", "dead", "text")
+	sum := put(t, s, key, "to be unlinked")
+	keep := machineKey("commit", "live", "text")
+	put(t, s, keep, "kept")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hexSum := hex.EncodeToString(sum[:])
+	if err := os.Remove(filepath.Join(dir, "blobs", hexSum[:2], hexSum[2:])); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened := mustOpen(t, dir)
+	if _, _, _, _, ok := reopened.Get(key); ok {
+		t.Fatal("row with missing blob survived replay")
+	}
+	if _, _, _, _, ok := reopened.Get(keep); !ok {
+		t.Fatal("intact row lost")
+	}
+}
+
+// TestCorruptBlobReadsAsMiss: content is re-verified on Get, so flipped
+// bits degrade to a miss and the row is dropped.
+func TestCorruptBlobReadsAsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	key := machineKey("commit", "bits", "text")
+	sum := put(t, s, key, "pristine content")
+	hexSum := hex.EncodeToString(sum[:])
+	path := filepath.Join(dir, "blobs", hexSum[:2], hexSum[2:])
+	if err := os.WriteFile(path, []byte("tampered content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, ok := s.Get(key); ok {
+		t.Fatal("corrupt blob served")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("corrupt row not dropped: Len = %d", s.Len())
+	}
+}
+
+// TestSizeBoundEvictsLRU: beyond the byte limit the least recently used
+// rows go first, and their blobs are unlinked once unreferenced.
+func TestSizeBoundEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	content := strings.Repeat("x", 100)
+	var keys []Key
+	for i := 0; i < 4; i++ {
+		key := machineKey("commit", fmt.Sprintf("lru%d", i), "text")
+		put(t, s, key, content+fmt.Sprint(i))
+		keys = append(keys, key)
+	}
+	// Touch key 0 so key 1 is the LRU victim.
+	if _, _, _, _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("touch miss")
+	}
+	s.SetLimit(3 * 101)
+	if s.Len() != 3 {
+		t.Fatalf("Len after limit = %d, want 3", s.Len())
+	}
+	if _, _, _, _, ok := s.Get(keys[1]); ok {
+		t.Fatal("LRU victim survived")
+	}
+	if _, _, _, _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Bytes > 3*101 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Victim blob gone from disk; survivors intact.
+	left := 0
+	filepath.Walk(filepath.Join(dir, "blobs"), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			left++
+		}
+		return nil
+	})
+	if left != 3 {
+		t.Fatalf("%d blobs on disk, want 3", left)
+	}
+}
+
+// TestSharedBlobSurvivesPartialEviction: two keys with identical content
+// share one blob; evicting one key keeps the blob for the other.
+func TestSharedBlobSurvivesPartialEviction(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	a := machineKey("commit", "sharea", "text")
+	b := machineKey("commit", "shareb", "text")
+	put(t, s, a, "identical bytes")
+	put(t, s, b, "identical bytes")
+	if st := s.Stats(); st.Bytes != int64(len("identical bytes")) {
+		t.Fatalf("shared blob double-counted: %+v", st)
+	}
+	s.EvictModel("", map[string]bool{"sharea": true})
+	if _, _, _, _, ok := s.Get(b); !ok {
+		t.Fatal("shared blob unlinked while still referenced")
+	}
+}
+
+// TestEvictModel removes rows by owner name and by fingerprint set, which
+// is how the pipeline purges an unregistered model's disk footprint.
+func TestEvictModel(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	put(t, s, machineKey("lease", "leasefp", "text"), "lease machine")
+	put(t, s, Key{Model: "lease", Param: 3, Format: "efsm"}, "lease efsm")
+	put(t, s, machineKey("commit", "commitfp", "text"), "commit machine")
+
+	if n := s.EvictModel("lease", map[string]bool{"leasefp": true}); n != 2 {
+		t.Fatalf("EvictModel removed %d rows, want 2", n)
+	}
+	if _, _, _, _, ok := s.Get(machineKey("lease", "leasefp", "text")); ok {
+		t.Fatal("machine row survived model eviction")
+	}
+	if _, _, _, _, ok := s.Get(Key{Model: "lease", Param: 3, Format: "efsm"}); ok {
+		t.Fatal("EFSM row survived model eviction")
+	}
+	if _, _, _, _, ok := s.Get(machineKey("commit", "commitfp", "text")); !ok {
+		t.Fatal("unrelated model evicted")
+	}
+}
+
+// TestEvictionsSurviveReopen: del rows are replayed, so an evicted key
+// stays evicted after restart.
+func TestEvictionsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	gone := machineKey("lease", "gonefp", "text")
+	put(t, s, gone, "gone")
+	put(t, s, machineKey("commit", "stayfp", "text"), "stay")
+	s.EvictModel("lease", nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := mustOpen(t, dir)
+	if _, _, _, _, ok := reopened.Get(gone); ok {
+		t.Fatal("evicted row resurrected by replay")
+	}
+	if reopened.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", reopened.Len())
+	}
+}
+
+// TestCompactRewritesLog: compaction drops tombstones and the store still
+// replays correctly afterwards.
+func TestCompactRewritesLog(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	for i := 0; i < 6; i++ {
+		put(t, s, machineKey("m", fmt.Sprintf("c%d", i), "text"), fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < 5; i++ {
+		s.EvictModel("", map[string]bool{fmt.Sprintf("c%d", i): true})
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "index.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 1 {
+		t.Fatalf("compacted log has %d lines, want 1", lines)
+	}
+	// The compacted store keeps accepting writes and replays cleanly.
+	put(t, s, machineKey("m", "after", "text"), "after-compact")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := mustOpen(t, dir)
+	if reopened.Len() != 2 {
+		t.Fatalf("Len after compact+reopen = %d, want 2", reopened.Len())
+	}
+}
+
+// TestReopenCompactsTombstoneHeavyLog: Open rewrites the log when
+// tombstones outnumber live rows.
+func TestReopenCompactsTombstoneHeavyLog(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	for i := 0; i < 4; i++ {
+		put(t, s, machineKey("m", fmt.Sprintf("t%d", i), "text"), fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < 3; i++ {
+		s.EvictModel("", map[string]bool{fmt.Sprintf("t%d", i): true})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := mustOpen(t, dir)
+	reopened.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "index.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 1 {
+		t.Fatalf("log has %d lines after auto-compaction, want 1", lines)
+	}
+}
+
+// TestPutSameKeySameContentIsIdempotent: re-putting identical bytes under
+// an existing key neither duplicates rows nor grows the log's live state.
+func TestPutSameKeySameContentIsIdempotent(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	key := machineKey("commit", "idem", "text")
+	put(t, s, key, "same bytes")
+	put(t, s, key, "same bytes")
+	if st := s.Stats(); st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPutReplacesChangedContent: a key re-put with different bytes serves
+// the new bytes, and the orphaned old blob is accounted out.
+func TestPutReplacesChangedContent(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	key := Key{Model: "m", Param: 2, Format: "efsm"}
+	put(t, s, key, "old bytes")
+	put(t, s, key, "new longer bytes")
+	data, _, _, _, ok := s.Get(key)
+	if !ok || string(data) != "new longer bytes" {
+		t.Fatalf("Get = %q, %v", data, ok)
+	}
+	if st := s.Stats(); st.Bytes != int64(len("new longer bytes")) {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, len("new longer bytes"))
+	}
+}
+
+func TestPurgeRemovesEverything(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	put(t, s, machineKey("m", "p1", "text"), "one")
+	put(t, s, machineKey("m", "p2", "text"), "two")
+	if n := s.Purge(); n != 2 {
+		t.Fatalf("Purge = %d, want 2", n)
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after purge = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if reopened := mustOpen(t, dir); reopened.Len() != 0 {
+		t.Fatalf("purged store reopened with %d rows", reopened.Len())
+	}
+}
