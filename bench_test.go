@@ -15,6 +15,7 @@ package asagen_test
 //	E9  BenchmarkChordLookup          routing hops vs overlay size
 //	E11 BenchmarkPipelineStages       pruning/merging ablation
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -39,6 +40,7 @@ import (
 	"asagen/internal/spec"
 	"asagen/internal/storage"
 	"asagen/internal/termination"
+	"asagen/internal/trace"
 	"asagen/internal/version"
 )
 
@@ -852,4 +854,52 @@ func BenchmarkServeArtifact(b *testing.B) {
 		}
 		reportQuantiles(b, lat)
 	})
+}
+
+// BenchmarkTraceCheck measures streaming trace conformance at line rate:
+// a long non-finishing trace (FREE/NOT_FREE alternation never crosses a
+// quorum threshold) checked against the commit machine, per decoder
+// front-end. Memory stays bounded by the longest line regardless of
+// trace length.
+func BenchmarkTraceCheck(b *testing.B) {
+	machine := buildCommitMachine(b, 4)
+	const lines = 1000
+	var jsonl, text bytes.Buffer
+	for i := 0; i < lines; i++ {
+		if i%2 == 0 {
+			jsonl.WriteString("{\"msg\":\"FREE\"}\n")
+			text.WriteString("12:00:00.001 member-0 recv FREE from member-1\n")
+		} else {
+			jsonl.WriteString("{\"msg\":\"NOT_FREE\"}\n")
+			text.WriteString("12:00:00.002 member-0 recv NOT_FREE from member-1\n")
+		}
+	}
+	run := func(b *testing.B, format string, data []byte) {
+		mon, err := trace.NewMonitor(
+			trace.WithTarget("", machine),
+			trace.WithObserver(trace.ObserverFunc(func(trace.Verdict) bool { return true })),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dec, err := trace.NewDecoder(format, bytes.NewReader(data), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := mon.Run(context.Background(), dec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.Conforming() || rep.Events != lines {
+				b.Fatalf("report = %+v", rep)
+			}
+		}
+		b.ReportMetric(float64(b.N)*lines/b.Elapsed().Seconds(), "lines/s")
+	}
+	b.Run("jsonl", func(b *testing.B) { run(b, trace.FormatJSONL, jsonl.Bytes()) })
+	b.Run("regex", func(b *testing.B) { run(b, trace.FormatRegex, text.Bytes()) })
 }

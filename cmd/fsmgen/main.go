@@ -27,7 +27,10 @@
 // output directory, under content-addressed filenames. As the first
 // argument, "serve" starts the versioned HTTP generation service (see
 // API.md), whose /v1/models collection accepts the same JSON specs over
-// POST.
+// POST, and "check" streams a recorded or live trace through a model's
+// generated machine, reporting one conformance verdict per line; it
+// exits 0 when the trace conforms, 1 when it violates, 2 when the trace
+// is malformed or the invocation is broken.
 //
 // Examples:
 //
@@ -39,6 +42,8 @@
 //	fsmgen -spec lease.json -all -o artifacts
 //	fsmgen -all -o artifacts
 //	fsmgen serve -addr :8080
+//	fsmgen check -model commit -r 4 -trace round.jsonl
+//	tail -f system.log | fsmgen check -format regex -q
 package main
 
 import (
@@ -57,13 +62,16 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "fsmgen:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
 func run(args []string, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(args[1:], stdout)
+	}
+	if len(args) > 0 && args[0] == "check" {
+		return runCheck(args[1:], stdout)
 	}
 
 	// Registry listings for flag help come from a plain client; the

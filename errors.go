@@ -3,6 +3,7 @@ package asagen
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"asagen/internal/artifact"
 	"asagen/internal/core"
@@ -36,7 +37,30 @@ var (
 	// ErrInvalidSpec reports a model spec rejected by compilation. The
 	// error message lists every diagnostic with its document path.
 	ErrInvalidSpec = errors.New("asagen: invalid model spec")
+	// ErrFinished reports a message delivered to an Instance whose
+	// machine has already reached its finish state. The state is
+	// unchanged; match with errors.Is.
+	ErrFinished = errors.New("asagen: machine already finished")
+	// ErrBadTrace reports a Check configuration whose trace format or
+	// transition pattern is invalid. Undecodable trace content is not an
+	// error return — it streams as a VerdictMalformed verdict.
+	ErrBadTrace = errors.New("asagen: bad trace")
 )
+
+// IgnoredError reports a message that is not applicable in the machine's
+// current state: the generated model records no transition for it there
+// (guard-rejected or out of vocabulary). The delivery left the state
+// unchanged. Match with errors.As to recover the state and message.
+type IgnoredError struct {
+	// State is the machine state at delivery time.
+	State string
+	// Message is the inapplicable message type.
+	Message string
+}
+
+func (e *IgnoredError) Error() string {
+	return fmt.Sprintf("asagen: message %s not applicable in state %s", e.Message, e.State)
+}
 
 // apiError binds an internal error's message to a public sentinel: Error()
 // and Unwrap() expose the detailed cause, while errors.Is matches the

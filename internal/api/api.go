@@ -54,6 +54,8 @@ const (
 	CodeGenerationAborted = "generation_aborted"
 	CodeModelExists       = "model_exists"
 	CodeInvalidSpec       = "invalid_spec"
+	CodeBadTrace          = "bad_trace"
+	CodeTraceAborted      = "trace_aborted"
 )
 
 // maxSpecBytes bounds the POST /v1/models request body; a model spec is a
@@ -132,6 +134,19 @@ func NewHandler(p *artifact.Pipeline) *Handler {
 			Summary: "Generate and render one artefact; cancelling the request aborts the generation.",
 			Query:   []string{"r: model parameter (default: the model's default)"},
 			handler: h.handleArtifact,
+		},
+		{
+			Method:  "POST",
+			Pattern: "/v1/models/{model}/check",
+			Summary: "Check a streamed trace against the model's machine; verdicts arrive as Server-Sent Events.",
+			Query: []string{
+				"r: model parameter (default: the model's default)",
+				"format: trace encoding, `jsonl` (default) or `regex`",
+				"tolerance: rejected deliveries absorbed before a violation (default 0)",
+				"match: regex transition pattern `PATTERN` or `PATTERN=>TEMPLATE` (repeatable; implies format=regex)",
+				"keep_going: `1`/`true` keeps checking past the first violation",
+			},
+			handler: h.handleCheck,
 		},
 		{
 			Method:  "GET",

@@ -46,6 +46,37 @@ func (h *Handler) Markdown() string {
 			r.Method, r.Pattern, queryCell(r.Query), r.Summary)
 	}
 
+	b.WriteString("\n## Trace conformance stream\n\n")
+	b.WriteString("`POST /v1/models/{model}/check` checks the request body — a trace,\n")
+	b.WriteString("one event per line — against the model's generated machine and\n")
+	b.WriteString("answers with a Server-Sent Events stream (`text/event-stream`), one\n")
+	b.WriteString("event per verdict. The trace is judged at line rate as it arrives:\n")
+	b.WriteString("neither side buffers the whole trace, so arbitrarily long streams\n")
+	b.WriteString("check in bounded memory, and closing the request cancels the run\n")
+	b.WriteString("server-side. Each event's name is the verdict kind and its `data`\n")
+	b.WriteString("line is the canonical verdict JSON — byte-identical to the output of\n")
+	b.WriteString("`fsmgen check -json` and the SDK's `Client.Check` for the same trace:\n\n")
+	b.WriteString("```\nevent: accepted\ndata: {\"line\":3,\"event\":\"VOTE\",\"kind\":\"accepted\",\"state\":\"T/1/T/0/F/F/F\",\"actions\":[\"->vote\"]}\n```\n\n")
+	b.WriteString("Verdict fields (omitted when empty): `line` (1-based trace line),\n")
+	b.WriteString("`target` (machine label, only when checking several), `event`\n")
+	b.WriteString("(delivered message), `kind`, `state` (machine state after the\n")
+	b.WriteString("delivery), `actions` (performed by an accepted delivery), `detail`\n")
+	b.WriteString("(rejection, skip or decode-failure reason), `stats` (summary only).\n\n")
+	b.WriteString("| Kind | Meaning |\n")
+	b.WriteString("|---|---|\n")
+	b.WriteString("| `accepted` | the machine consumed the message; a transition fired |\n")
+	b.WriteString("| `ignored` | rejected delivery absorbed by the `tolerance` budget |\n")
+	b.WriteString("| `skipped` | no transition pattern matched the line (`regex` format) |\n")
+	b.WriteString("| `finished` | the machine reached its finish state |\n")
+	b.WriteString("| `violation` | rejected delivery with the budget exhausted — the trace does not conform |\n")
+	b.WriteString("| `summary` | terminal event of a completed run; `stats` carries line/event/verdict counts, `first_violation` and `final_state` |\n\n")
+	b.WriteString("Every stream ends with exactly one terminal event: `summary` (run\n")
+	b.WriteString("completed — conforming when `stats.violations` is 0), or `error`\n")
+	b.WriteString("whose data is the standard error envelope (`bad_trace` for\n")
+	b.WriteString("undecodable input, `trace_aborted` for a failed trace read).\n")
+	b.WriteString("Preflight failures — unknown model, bad parameter, bad pattern —\n")
+	b.WriteString("are ordinary JSON-envelope responses; the event stream never starts.\n")
+
 	b.WriteString("\n## Error envelope\n\n")
 	b.WriteString("Failures are reported as JSON:\n\n")
 	b.WriteString("```json\n{\"error\": {\"code\": \"unknown_model\", \"message\": \"...\"}}\n```\n\n")
@@ -59,6 +90,8 @@ func (h *Handler) Markdown() string {
 	b.WriteString("| `generation_aborted` | 503 | shared in-flight generation aborted by another request's disconnect; retry |\n")
 	b.WriteString("| `invalid_spec` | 400 | model spec rejected; the message lists every diagnostic with its document path |\n")
 	b.WriteString("| `model_exists` | 409 | spec name already registered; unregister it first to replace |\n")
+	b.WriteString("| `bad_trace` | 400 (or in-stream `error` event) | bad trace format/pattern, or undecodable trace content |\n")
+	b.WriteString("| `trace_aborted` | in-stream `error` event | trace body read failed mid-check |\n")
 	b.WriteString("| `not_found` | 404 | no such route |\n")
 	b.WriteString("| `method_not_allowed` | 405 | method not served on the path; see the `Allow` header |\n")
 

@@ -1,0 +1,181 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"asagen/internal/artifact"
+	"asagen/internal/trace"
+)
+
+// handleCheck serves POST /v1/models/{model}/check: the request body is a
+// trace (JSON Lines by default, or text decoded through regex transition
+// patterns) streamed through the model's generated machine, and the
+// response is a Server-Sent Events stream with one event per verdict.
+// Event names are the verdict kinds and each data payload is the
+// canonical verdict JSON — byte-identical to what `fsmgen check -json`
+// and the SDK iterator emit for the same trace.
+//
+// The trace is judged at line rate as the body arrives; neither side
+// buffers the whole trace, so arbitrarily long streams check in bounded
+// memory. Closing the request mid-stream cancels the run server-side.
+//
+// Preflight failures (unknown model, bad parameter, bad pattern) are
+// ordinary JSON-envelope errors. Once the event stream has started,
+// failures arrive as a terminal `error` event whose data is the same
+// envelope: code `bad_trace` for undecodable input, `trace_aborted` for
+// a failed trace read. A completed run — conforming or violating, per
+// its `stats` — ends with a `summary` event.
+func (h *Handler) handleCheck(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	param := 0
+	if rs := q.Get("r"); rs != "" {
+		var err error
+		if param, err = strconv.Atoi(rs); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadParameter,
+				"bad parameter "+strconv.Quote(rs)+": "+err.Error())
+			return
+		}
+	}
+	tolerance := 0
+	if ts := q.Get("tolerance"); ts != "" {
+		n, err := strconv.Atoi(ts)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadParameter,
+				"bad tolerance "+strconv.Quote(ts)+": want a non-negative integer")
+			return
+		}
+		tolerance = n
+	}
+	keepGoing := false
+	switch kg := q.Get("keep_going"); kg {
+	case "", "0", "false":
+	case "1", "true":
+		keepGoing = true
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadParameter,
+			"bad keep_going "+strconv.Quote(kg)+": want 1/true or 0/false")
+		return
+	}
+	var rules []trace.Rule
+	for _, pattern := range q["match"] {
+		rule, err := trace.ParseRule(pattern)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadTrace, err.Error())
+			return
+		}
+		rules = append(rules, rule)
+	}
+	format := q.Get("format")
+	switch format {
+	case "":
+		format = trace.FormatJSONL
+		if len(rules) > 0 {
+			format = trace.FormatRegex
+		}
+	case trace.FormatJSONL, trace.FormatRegex:
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadTrace,
+			"unknown trace format "+strconv.Quote(format)+" (known: jsonl, regex)")
+		return
+	}
+
+	machine, _, _, err := h.p.Machine(r.Context(), r.PathValue("model"), param)
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			return // client gone before generation finished
+		case errors.Is(err, artifact.ErrUnknownModel):
+			writeError(w, http.StatusNotFound, CodeUnknownModel, err.Error())
+		default:
+			// Model construction rejected the parameter value.
+			writeError(w, http.StatusBadRequest, CodeBadParameter, err.Error())
+		}
+		return
+	}
+	dec, err := trace.NewDecoder(format, r.Body, rules)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadTrace, err.Error())
+		return
+	}
+
+	// Preflight is clean: commit to the event stream. From here failures
+	// are in-band `error` events, not status codes.
+	header := w.Header()
+	header.Set("Content-Type", "text/event-stream; charset=utf-8")
+	header.Set("Cache-Control", "no-store")
+	header.Set("X-Accel-Buffering", "no")
+	if r.ProtoMajor == 1 {
+		// Without this the HTTP/1 server drains the unread request body
+		// before releasing the response headers, to keep the connection
+		// reusable — a deadlock when the trace is still streaming in.
+		// Responses and trace bodies interleave here, so the connection
+		// could never be reused anyway.
+		header.Set("Connection", "close")
+	}
+	rc := http.NewResponseController(w)
+	w.WriteHeader(http.StatusOK)
+	// Push the headers out now: verdicts may be a long time coming on a
+	// live trace, and SSE clients act on the content type immediately.
+	if rc.Flush() != nil {
+		return
+	}
+	var buf []byte
+	writeEvent := func(name string, data []byte) bool {
+		buf = buf[:0]
+		buf = append(buf, "event: "...)
+		buf = append(buf, name...)
+		buf = append(buf, "\ndata: "...)
+		buf = append(buf, data...)
+		buf = append(buf, "\n\n"...)
+		if _, err := w.Write(buf); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	var verdictBuf []byte
+	opts := []trace.MonitorOption{
+		trace.WithTarget("", machine),
+		trace.WithTolerance(tolerance),
+		trace.WithObserver(trace.ObserverFunc(func(v trace.Verdict) bool {
+			verdictBuf = v.AppendJSON(verdictBuf[:0])
+			return writeEvent(v.Kind.String(), verdictBuf)
+		})),
+	}
+	if keepGoing {
+		opts = append(opts, trace.WithKeepGoing())
+	}
+	mon, err := trace.NewMonitor(opts...)
+	if err != nil {
+		writeEvent("error", envelopeJSON(CodeBadTrace, err.Error()))
+		return
+	}
+
+	rep, err := mon.Run(r.Context(), dec)
+	var de *trace.DecodeError
+	switch {
+	case errors.Is(err, trace.ErrStopped):
+		// A verdict write failed; the client is gone.
+	case r.Context().Err() != nil:
+		// Cancelled mid-run; nothing useful can be written.
+	case err == nil:
+		verdictBuf = trace.Terminal(rep, nil).AppendJSON(verdictBuf[:0])
+		writeEvent("summary", verdictBuf)
+	case errors.As(err, &de):
+		writeEvent("error", envelopeJSON(CodeBadTrace, de.Error()))
+	default:
+		writeEvent("error", envelopeJSON(CodeTraceAborted, err.Error()))
+	}
+}
+
+// envelopeJSON renders the standard error envelope as a compact JSON
+// line for use as an SSE data payload.
+func envelopeJSON(code, message string) []byte {
+	data, err := json.Marshal(errorEnvelope{Error: errorBody{Code: code, Message: message}})
+	if err != nil {
+		return []byte(`{"error":{"code":"` + code + `","message":"encoding failed"}}`)
+	}
+	return data
+}

@@ -1,0 +1,303 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"asagen/internal/artifact"
+	"asagen/internal/trace"
+)
+
+// conformingTrace finishes one commit member at r=4 (vote threshold 3 is
+// met by two received votes plus the member's own, commit threshold 2).
+const conformingTrace = `{"msg":"FREE"}
+"UPDATE"
+"VOTE"
+"VOTE"
+"COMMIT"
+"COMMIT"
+`
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// parseSSE splits a complete event-stream body into events.
+func parseSSE(t *testing.T, body string) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	for _, block := range strings.Split(strings.TrimSuffix(body, "\n\n"), "\n\n") {
+		lines := strings.Split(block, "\n")
+		if len(lines) != 2 || !strings.HasPrefix(lines[0], "event: ") || !strings.HasPrefix(lines[1], "data: ") {
+			t.Fatalf("malformed SSE block %q", block)
+		}
+		events = append(events, sseEvent{
+			name: strings.TrimPrefix(lines[0], "event: "),
+			data: strings.TrimPrefix(lines[1], "data: "),
+		})
+	}
+	return events
+}
+
+func postCheck(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/jsonl", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(raw)
+}
+
+func TestCheckRouteConformingStream(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(artifact.New()))
+	defer ts.Close()
+
+	resp, body := postCheck(t, ts, "/v1/models/commit/check?r=4", conformingTrace)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control = %q", cc)
+	}
+	events := parseSSE(t, body)
+	var names []string
+	for _, ev := range events {
+		names = append(names, ev.name)
+	}
+	want := []string{"accepted", "accepted", "accepted", "accepted", "accepted",
+		"accepted", "finished", "summary"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("event names = %v, want %v", names, want)
+	}
+	last := events[len(events)-1]
+	var summary struct {
+		Kind  string `json:"kind"`
+		Stats struct {
+			Lines      int    `json:"lines"`
+			Accepted   int    `json:"accepted"`
+			Violations int    `json:"violations"`
+			Finished   bool   `json:"finished"`
+			FinalState string `json:"final_state"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(last.data), &summary); err != nil {
+		t.Fatalf("summary data %q: %v", last.data, err)
+	}
+	st := summary.Stats
+	if st.Lines != 6 || st.Accepted != 6 || st.Violations != 0 || !st.Finished || st.FinalState == "" {
+		t.Errorf("summary stats = %+v", st)
+	}
+}
+
+// TestCheckRouteVerdictBytesMatchMonitor pins the cross-surface contract:
+// the SSE data payloads are byte-identical to the canonical verdict JSON
+// the trace layer produces directly (and hence to `fsmgen check -json`
+// and the SDK iterator, which share the same encoder).
+func TestCheckRouteVerdictBytesMatchMonitor(t *testing.T) {
+	p := artifact.New()
+	ts := httptest.NewServer(NewHandler(p))
+	defer ts.Close()
+
+	traceBody := "\"FREE\"\n\"UPDATE\"\n\"NOPE\"\n\"NOPE\"\n" // one tolerated rejection, then a violation
+	_, body := postCheck(t, ts, "/v1/models/commit/check?r=4&tolerance=1", traceBody)
+	events := parseSSE(t, body)
+
+	machine, _, _, err := p.Machine(context.Background(), "commit", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantData []string
+	mon, err := trace.NewMonitor(
+		trace.WithTarget("", machine),
+		trace.WithTolerance(1),
+		trace.WithObserver(trace.ObserverFunc(func(v trace.Verdict) bool {
+			wantData = append(wantData, string(v.AppendJSON(nil)))
+			return true
+		})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mon.Run(context.Background(), trace.NewJSONLDecoder(strings.NewReader(traceBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantData = append(wantData, string(trace.Terminal(rep, nil).AppendJSON(nil)))
+
+	if len(events) != len(wantData) {
+		t.Fatalf("got %d events, want %d", len(events), len(wantData))
+	}
+	for i, ev := range events {
+		if ev.data != wantData[i] {
+			t.Errorf("event %d data = %s\nwant       %s", i, ev.data, wantData[i])
+		}
+	}
+}
+
+func TestCheckRouteMalformedTrace(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(artifact.New()))
+	defer ts.Close()
+
+	resp, body := postCheck(t, ts, "/v1/models/commit/check?r=4", "\"UPDATE\"\n{broken\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (the stream had already started)", resp.StatusCode)
+	}
+	events := parseSSE(t, body)
+	last := events[len(events)-1]
+	if last.name != "error" {
+		t.Fatalf("terminal event = %q, want error; body %q", last.name, body)
+	}
+	var envelope struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(last.data), &envelope); err != nil {
+		t.Fatalf("error data %q: %v", last.data, err)
+	}
+	if envelope.Error.Code != CodeBadTrace || !strings.Contains(envelope.Error.Message, "line 2") {
+		t.Errorf("error envelope = %+v", envelope.Error)
+	}
+	// The conforming prefix was still judged before the failure.
+	if events[0].name != "accepted" {
+		t.Errorf("first event = %q, want accepted", events[0].name)
+	}
+}
+
+func TestCheckRouteRegexFormat(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(artifact.New()))
+	defer ts.Close()
+
+	trace := "12:01 recv FREE\nplain noise line\n12:02 recv UPDATE\n"
+	resp, body := postCheck(t, ts, "/v1/models/commit/check?r=4&format=regex", trace)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	events := parseSSE(t, body)
+	var names []string
+	for _, ev := range events {
+		names = append(names, ev.name)
+	}
+	if strings.Join(names, ",") != "accepted,skipped,accepted,summary" {
+		t.Fatalf("event names = %v", names)
+	}
+
+	// A custom match pattern implies the regex format.
+	q := url.Values{"r": {"4"}, "match": {`recv ([A-Z_]+)`}}
+	resp, body = postCheck(t, ts, "/v1/models/commit/check?"+q.Encode(), "ignored recv FREE\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if events := parseSSE(t, body); events[0].name != "accepted" {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+func TestCheckRoutePreflightErrors(t *testing.T) {
+	ts := httptest.NewServer(NewHandler(artifact.New()))
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		path   string
+		status int
+		code   string
+	}{
+		{"/v1/models/nonsense/check", http.StatusNotFound, CodeUnknownModel},
+		{"/v1/models/commit/check?r=banana", http.StatusBadRequest, CodeBadParameter},
+		{"/v1/models/commit/check?tolerance=-1", http.StatusBadRequest, CodeBadParameter},
+		{"/v1/models/commit/check?keep_going=maybe", http.StatusBadRequest, CodeBadParameter},
+		{"/v1/models/commit/check?format=xml", http.StatusBadRequest, CodeBadTrace},
+		{"/v1/models/commit/check?match=%28broken", http.StatusBadRequest, CodeBadTrace},
+	} {
+		resp, body := postCheck(t, ts, tc.path, "\"UPDATE\"\n")
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d (body %s)", tc.path, resp.StatusCode, tc.status, body)
+			continue
+		}
+		var envelope struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &envelope); err != nil {
+			t.Errorf("%s: body %q not an error envelope: %v", tc.path, body, err)
+			continue
+		}
+		if envelope.Error.Code != tc.code {
+			t.Errorf("%s: code = %q, want %q", tc.path, envelope.Error.Code, tc.code)
+		}
+	}
+
+	// GET is not served on the check route.
+	resp, err := http.Get(ts.URL + "/v1/models/commit/check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestCheckRouteClientDisconnect pins request-scoped cancellation: when
+// the client goes away mid-stream, the handler notices and returns
+// instead of blocking on the half-open trace body.
+func TestCheckRouteClientDisconnect(t *testing.T) {
+	handlerDone := make(chan struct{})
+	inner := NewHandler(artifact.New())
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer close(handlerDone)
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	pr, pw := io.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/models/commit/check?r=4", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Feed one event, read its verdict back, then vanish mid-stream.
+	if _, err := io.WriteString(pw, "\"UPDATE\"\n"); err != nil {
+		t.Fatal(err)
+	}
+	firstEvent := make([]byte, 1)
+	if _, err := io.ReadFull(resp.Body, firstEvent); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	select {
+	case <-handlerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler still running 5s after client disconnect")
+	}
+	pw.Close()
+}

@@ -540,6 +540,36 @@ func (p *Pipeline) efsmFor(ctx context.Context, entry models.Entry, param int) (
 	return e.efsm, e.err
 }
 
+// Machine resolves a model name and parameter against the pipeline's
+// registry and returns the generated machine, its fingerprint and the
+// resolved parameter (non-positive params select the model's default).
+// Generation is memoised and single-flight through the pipeline's cache,
+// exactly like the artefact path, and the fingerprint is tracked so
+// PurgeModel evicts the machine; the trace-conformance layer generates
+// the machines it monitors through here, so a check and a render of the
+// same family member share one generation.
+func (p *Pipeline) Machine(ctx context.Context, model string, param int) (*core.StateMachine, core.Fingerprint, int, error) {
+	entry, err := p.reg.Get(model)
+	if err != nil {
+		return nil, core.Fingerprint{}, 0,
+			fmt.Errorf("%w: %q (known: %v)", ErrUnknownModel, model, p.reg.Names())
+	}
+	if param <= 0 {
+		param = entry.DefaultParam
+	}
+	m, err := entry.Build(param)
+	if err != nil {
+		return nil, core.Fingerprint{}, param, err
+	}
+	fp := p.cache.Fingerprint(m)
+	p.recordFingerprint(entry.Name, param, fp)
+	machine, err := p.cache.MachineForFingerprint(ctx, fp, m)
+	if err != nil {
+		return nil, fp, param, err
+	}
+	return machine, fp, param, nil
+}
+
 // TrackFingerprint records that the named model generates under fp at the
 // given parameter in the pipeline's cache, so PurgeModel can later evict
 // the generation and UpdateModel can link it for incremental

@@ -1,0 +1,310 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+)
+
+// Event is one decoded trace element: the message carried by one input
+// line.
+type Event struct {
+	// Line is the 1-based input line number.
+	Line int
+	// Msg is the machine message type decoded from the line; empty when
+	// Skip is set.
+	Msg string
+	// Skip marks a non-blank line the decoder produced no event for
+	// (e.g. no transition pattern matched); the monitor reports it as a
+	// skipped verdict instead of a delivery.
+	Skip bool
+}
+
+// Decoder produces the event stream of one trace. Next returns io.EOF at
+// the end of the input and a *DecodeError for undecodable lines; any
+// other error is an I/O failure of the underlying reader.
+type Decoder interface {
+	Next() (Event, error)
+}
+
+// DecodeError reports an input line that is not a trace element in the
+// decoder's format.
+type DecodeError struct {
+	// Line is the 1-based position of the offending line.
+	Line int
+	// Reason describes why the line was rejected.
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("trace: line %d: %s", e.Line, e.Reason)
+}
+
+// maxLineBytes bounds a single trace line. The monitor's memory use is
+// bounded by this, never by the trace length.
+const maxLineBytes = 1 << 20
+
+// lineReader is the scanning core shared by the decoders: it hands out
+// one line at a time from a reused buffer, tracking the 1-based line
+// number. Returned slices are valid only until the next call.
+type lineReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	return &lineReader{sc: sc}
+}
+
+// next returns the next input line without its terminator. io.EOF marks
+// the end of input; a too-long line is a *DecodeError.
+func (lr *lineReader) next() ([]byte, error) {
+	if !lr.sc.Scan() {
+		if err := lr.sc.Err(); err != nil {
+			if err == bufio.ErrTooLong {
+				return nil, &DecodeError{Line: lr.line + 1,
+					Reason: fmt.Sprintf("line exceeds %d bytes", maxLineBytes)}
+			}
+			return nil, fmt.Errorf("trace: read line %d: %w", lr.line+1, err)
+		}
+		return nil, io.EOF
+	}
+	lr.line++
+	return lr.sc.Bytes(), nil
+}
+
+// interner deduplicates message strings so steady-state decoding of a
+// trace over a machine's (small) vocabulary performs no per-line
+// allocation. The table is bounded; an adversarial stream of distinct
+// messages falls back to plain allocation rather than growing memory.
+type interner map[string]string
+
+const maxInterned = 1024
+
+func (in interner) get(b []byte) string {
+	// The string(b) conversions in the map index expressions do not
+	// allocate (compiler-recognised pattern).
+	if s, ok := in[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(in) < maxInterned {
+		in[s] = s
+	}
+	return s
+}
+
+// JSONLDecoder decodes JSON Lines traces: one event per line, either a
+// bare JSON string naming the message ("VOTE") or an object with a
+// "msg" member ({"msg":"VOTE", ...}; other members are ignored, so
+// richer event records pass through untouched). Blank lines are
+// skipped silently.
+type JSONLDecoder struct {
+	lr     *lineReader
+	intern interner
+}
+
+// NewJSONLDecoder returns a JSON Lines decoder over r.
+func NewJSONLDecoder(r io.Reader) *JSONLDecoder {
+	return &JSONLDecoder{lr: newLineReader(r), intern: make(interner)}
+}
+
+// jsonlEvent is the decoded object form of one JSON Lines event.
+type jsonlEvent struct {
+	Msg string `json:"msg"`
+}
+
+// Next implements Decoder.
+func (d *JSONLDecoder) Next() (Event, error) {
+	for {
+		b, err := d.lr.next()
+		if err != nil {
+			return Event{}, err
+		}
+		b = bytes.TrimSpace(b)
+		if len(b) == 0 {
+			continue
+		}
+		switch b[0] {
+		case '{':
+			// Fast path for the canonical {"msg":"..."} shape with no
+			// escapes: the message bytes are extracted and interned
+			// without invoking the JSON decoder.
+			if msg, ok := fastMsg(b); ok {
+				return Event{Line: d.lr.line, Msg: d.intern.get(msg)}, nil
+			}
+			var ev jsonlEvent
+			if err := json.Unmarshal(b, &ev); err != nil {
+				return Event{}, &DecodeError{Line: d.lr.line,
+					Reason: fmt.Sprintf("invalid JSON event: %v", err)}
+			}
+			if ev.Msg == "" {
+				return Event{}, &DecodeError{Line: d.lr.line,
+					Reason: `JSON event object has no "msg" member`}
+			}
+			return Event{Line: d.lr.line, Msg: ev.Msg}, nil
+		case '"':
+			var msg string
+			if err := json.Unmarshal(b, &msg); err != nil || msg == "" {
+				return Event{}, &DecodeError{Line: d.lr.line,
+					Reason: "invalid JSON string event"}
+			}
+			return Event{Line: d.lr.line, Msg: msg}, nil
+		default:
+			return Event{}, &DecodeError{Line: d.lr.line,
+				Reason: fmt.Sprintf("not a JSON Lines event (starts with %q); expected a string or an object with a \"msg\" member", b[0])}
+		}
+	}
+}
+
+// fastMsg extracts the msg value from a {"msg":"..."} prefix when the
+// value contains no escapes. ok is false when the line needs the full
+// JSON decoder.
+func fastMsg(b []byte) (msg []byte, ok bool) {
+	const prefix = `{"msg":"`
+	if len(b) < len(prefix) || string(b[:len(prefix)]) != prefix {
+		return nil, false
+	}
+	rest := b[len(prefix):]
+	end := bytes.IndexByte(rest, '"')
+	if end < 0 || bytes.IndexByte(rest[:end], '\\') >= 0 {
+		return nil, false
+	}
+	switch {
+	case end == 0:
+		return nil, false // empty msg: let the slow path reject it
+	case len(rest) == end+1 || rest[end+1] == '}' || rest[end+1] == ',':
+		return rest[:end], true
+	default:
+		return nil, false
+	}
+}
+
+// Rule maps a transition pattern to a machine message, go-rst style: a
+// line matching Pattern decodes to Message with capture-group references
+// ($1, ${name}) expanded.
+type Rule struct {
+	Pattern *regexp.Regexp
+	// Message is the message template; when empty, "$1" (the first
+	// capture group, or the whole match when the pattern declares no
+	// groups) is used.
+	Message string
+}
+
+// ParseRule compiles a rule from its flag/query syntax:
+//
+//	PATTERN             message is capture group 1 (or the whole match)
+//	PATTERN=>TEMPLATE   message is TEMPLATE with $1/${name} expanded
+func ParseRule(s string) (Rule, error) {
+	pattern, template := s, ""
+	if i := indexRuleSep(s); i >= 0 {
+		pattern, template = s[:i], s[i+2:]
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return Rule{}, fmt.Errorf("trace: bad match rule %q: %v", s, err)
+	}
+	return Rule{Pattern: re, Message: template}, nil
+}
+
+// indexRuleSep locates the last "=>" separator, so patterns containing
+// "=>" can still be written by putting the template after the final one.
+func indexRuleSep(s string) int {
+	for i := len(s) - 2; i >= 0; i-- {
+		if s[i] == '=' && s[i+1] == '>' {
+			return i
+		}
+	}
+	return -1
+}
+
+// DefaultRules returns the regex front-end's fallback rule set: the
+// first ALL_CAPS token of a line (two or more characters) is the
+// message — the shape of the repository's machine vocabularies (VOTE,
+// STORE_ACK, SUCC_FAIL, ...).
+func DefaultRules() []Rule {
+	return []Rule{{Pattern: regexp.MustCompile(`\b([A-Z][A-Z0-9_]+)\b`)}}
+}
+
+// RegexDecoder decodes text traces through an ordered rule list:
+// the first matching rule supplies the message (first-match wins, like
+// go-rst's per-state transition lists). Non-blank lines matching no rule
+// decode to skip events; blank lines are skipped silently.
+type RegexDecoder struct {
+	lr     *lineReader
+	rules  []Rule
+	intern interner
+	buf    []byte
+}
+
+// NewRegexDecoder returns a regex decoder over r. A nil or empty rule
+// list selects DefaultRules.
+func NewRegexDecoder(r io.Reader, rules []Rule) *RegexDecoder {
+	if len(rules) == 0 {
+		rules = DefaultRules()
+	}
+	return &RegexDecoder{lr: newLineReader(r), rules: rules, intern: make(interner)}
+}
+
+// Next implements Decoder.
+func (d *RegexDecoder) Next() (Event, error) {
+	for {
+		b, err := d.lr.next()
+		if err != nil {
+			return Event{}, err
+		}
+		if len(bytes.TrimSpace(b)) == 0 {
+			continue
+		}
+		for i := range d.rules {
+			rule := &d.rules[i]
+			m := rule.Pattern.FindSubmatchIndex(b)
+			if m == nil {
+				continue
+			}
+			d.buf = d.buf[:0]
+			switch {
+			case rule.Message != "":
+				d.buf = rule.Pattern.Expand(d.buf, []byte(rule.Message), b, m)
+			case len(m) >= 4 && m[2] >= 0:
+				d.buf = append(d.buf, b[m[2]:m[3]]...)
+			default:
+				d.buf = append(d.buf, b[m[0]:m[1]]...)
+			}
+			if len(d.buf) == 0 {
+				return Event{}, &DecodeError{Line: d.lr.line,
+					Reason: fmt.Sprintf("match rule %q produced an empty message", rule.Pattern)}
+			}
+			return Event{Line: d.lr.line, Msg: d.intern.get(d.buf)}, nil
+		}
+		return Event{Line: d.lr.line, Skip: true}, nil
+	}
+}
+
+// NewDecoder returns the decoder for a named trace format over r:
+// "jsonl" (JSON Lines, the default for an empty name) or "regex" (text
+// via transition patterns; rules may be nil for the defaults). Unknown
+// formats return an error naming the known ones.
+func NewDecoder(format string, r io.Reader, rules []Rule) (Decoder, error) {
+	switch format {
+	case "", FormatJSONL:
+		return NewJSONLDecoder(r), nil
+	case FormatRegex:
+		return NewRegexDecoder(r, rules), nil
+	default:
+		return nil, fmt.Errorf("trace: unknown trace format %q (known: %s, %s)",
+			format, FormatJSONL, FormatRegex)
+	}
+}
+
+// Trace format names accepted by NewDecoder, the check CLI and the
+// check API route.
+const (
+	FormatJSONL = "jsonl"
+	FormatRegex = "regex"
+)

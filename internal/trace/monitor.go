@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"asagen/internal/core"
+	"asagen/internal/runtime"
+)
+
+// ErrStopped is returned by Monitor.Run when an observer ended the run
+// by returning false. The Report covers everything observed up to the
+// stop; no terminal verdict should be emitted for such a run.
+var ErrStopped = errors.New("trace: observer stopped the run")
+
+// Observer receives verdicts as the monitor produces them. Returning
+// false stops the run (Monitor.Run returns ErrStopped), mirroring the
+// yield convention of iter.Seq so iterator adapters need no goroutines.
+type Observer interface {
+	Observe(Verdict) bool
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Verdict) bool
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(v Verdict) bool { return f(v) }
+
+// target is one machine under observation, with its per-run state.
+type target struct {
+	name     string
+	machine  *core.StateMachine
+	inst     *runtime.Instance
+	budget   int
+	finished bool
+}
+
+// Monitor drives one or more generated machines over a decoded event
+// stream at line rate, judging every delivery. A Monitor is reusable —
+// each Run starts every machine from its start state — but not safe for
+// concurrent Runs.
+type Monitor struct {
+	targets   []*target
+	observers []Observer
+	tolerance int
+	keepGoing bool
+}
+
+// MonitorOption configures a Monitor.
+type MonitorOption func(*Monitor) error
+
+// WithTarget adds a machine to observe. The name labels its verdicts
+// when the monitor drives more than one machine; with a single target
+// the label is omitted from verdicts entirely.
+func WithTarget(name string, machine *core.StateMachine) MonitorOption {
+	return func(m *Monitor) error {
+		if machine == nil {
+			return fmt.Errorf("trace: nil machine for target %q", name)
+		}
+		inst, err := runtime.New(machine, nil)
+		if err != nil {
+			return fmt.Errorf("trace: target %q: %w", name, err)
+		}
+		m.targets = append(m.targets, &target{name: name, machine: machine, inst: inst})
+		return nil
+	}
+}
+
+// WithTolerance sets the number of rejected deliveries each target
+// absorbs before a further rejection becomes a violation. The default
+// is 0: the first rejection violates.
+func WithTolerance(n int) MonitorOption {
+	return func(m *Monitor) error {
+		if n < 0 {
+			return fmt.Errorf("trace: negative tolerance %d", n)
+		}
+		m.tolerance = n
+		return nil
+	}
+}
+
+// WithObserver registers verdict observers, called in registration
+// order for every verdict.
+func WithObserver(obs ...Observer) MonitorOption {
+	return func(m *Monitor) error {
+		m.observers = append(m.observers, obs...)
+		return nil
+	}
+}
+
+// WithKeepGoing makes Run read the whole trace even after a violation,
+// counting every violation, instead of stopping at the first one.
+func WithKeepGoing() MonitorOption {
+	return func(m *Monitor) error {
+		m.keepGoing = true
+		return nil
+	}
+}
+
+// NewMonitor returns a monitor over the configured targets. At least
+// one WithTarget is required.
+func NewMonitor(opts ...MonitorOption) (*Monitor, error) {
+	m := &Monitor{}
+	for _, opt := range opts {
+		if err := opt(m); err != nil {
+			return nil, err
+		}
+	}
+	if len(m.targets) == 0 {
+		return nil, errors.New("trace: monitor needs at least one target machine")
+	}
+	return m, nil
+}
+
+// emit delivers one verdict to every observer; false means stop.
+func (m *Monitor) emit(v Verdict) bool {
+	for _, obs := range m.observers {
+		if !obs.Observe(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Run drives the targets over the decoder's event stream until the
+// input ends, the context is cancelled, an observer stops the run, or —
+// unless WithKeepGoing — a violation occurs. The Report covers
+// everything judged; err classifies abnormal ends: a *DecodeError for
+// malformed input, the context error for cancellation, ErrStopped for
+// an observer stop, and nil for a completed run (conforming or not —
+// consult Report.Conforming).
+func (m *Monitor) Run(ctx context.Context, dec Decoder) (Report, error) {
+	var rep Report
+	for _, t := range m.targets {
+		t.inst.Reset()
+		t.budget = m.tolerance
+		t.finished = false
+	}
+	single := len(m.targets) == 1
+	done := ctx.Done()
+	for {
+		select {
+		case <-done:
+			return rep, ctx.Err()
+		default:
+		}
+		ev, err := dec.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			var de *DecodeError
+			if errors.As(err, &de) {
+				rep.Lines = max(rep.Lines, de.Line)
+				return rep, de
+			}
+			return rep, err
+		}
+		rep.Lines = ev.Line
+		if ev.Skip {
+			rep.Skipped++
+			if !m.emit(Verdict{Line: ev.Line, Kind: KindSkipped,
+				Detail: "no transition pattern matched"}) {
+				return rep, ErrStopped
+			}
+			continue
+		}
+		rep.Events++
+		for _, t := range m.targets {
+			name := t.name
+			if single {
+				name = ""
+			}
+			actions, err := t.inst.Deliver(ev.Msg)
+			if err == nil {
+				rep.Accepted++
+				if !m.emit(Verdict{Line: ev.Line, Target: name, Event: ev.Msg,
+					Kind: KindAccepted, State: t.inst.StateName(), Actions: actions}) {
+					return rep, ErrStopped
+				}
+				if t.inst.Finished() && !t.finished {
+					t.finished = true
+					if !m.emit(Verdict{Line: ev.Line, Target: name, Event: ev.Msg,
+						Kind: KindFinished, State: t.inst.StateName()}) {
+						return rep, ErrStopped
+					}
+				}
+				continue
+			}
+			// Rejected delivery: tolerated while the budget lasts,
+			// a violation afterwards.
+			if t.budget > 0 {
+				t.budget--
+				rep.Ignored++
+				if !m.emit(Verdict{Line: ev.Line, Target: name, Event: ev.Msg,
+					Kind: KindIgnored, State: t.inst.StateName(), Detail: err.Error()}) {
+					return rep, ErrStopped
+				}
+				continue
+			}
+			rep.Violations++
+			if rep.FirstViolation == 0 {
+				rep.FirstViolation = ev.Line
+			}
+			if !m.emit(Verdict{Line: ev.Line, Target: name, Event: ev.Msg,
+				Kind: KindViolation, State: t.inst.StateName(), Detail: err.Error()}) {
+				return rep, ErrStopped
+			}
+			if !m.keepGoing {
+				m.finalize(&rep, single)
+				return rep, nil
+			}
+		}
+	}
+	m.finalize(&rep, single)
+	return rep, nil
+}
+
+// finalize fills the report fields derived from the targets' end state.
+func (m *Monitor) finalize(rep *Report, single bool) {
+	rep.Finished = true
+	for _, t := range m.targets {
+		if !t.inst.Finished() {
+			rep.Finished = false
+		}
+	}
+	if single {
+		rep.FinalState = m.targets[0].inst.StateName()
+	}
+}

@@ -3,6 +3,7 @@ package asagen
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 
 	"asagen/internal/core"
 	"asagen/internal/render"
@@ -138,10 +139,30 @@ type Instance struct {
 
 // Deliver feeds one message to the machine and returns the actions
 // performed (already dispatched to the action handler, in order). A
-// message that is not applicable in the current state returns an error and
-// leaves the state unchanged.
+// rejected delivery leaves the state unchanged and returns a typed
+// error: *IgnoredError (match with errors.As) when the message is not
+// applicable in the current state, ErrFinished (match with errors.Is)
+// when the machine has already finished.
 func (i *Instance) Deliver(msg string) ([]string, error) {
-	return i.inst.Deliver(msg)
+	actions, err := i.inst.Deliver(msg)
+	if err != nil {
+		return nil, mapDeliverErr(err)
+	}
+	return actions, nil
+}
+
+// mapDeliverErr lifts runtime delivery failures to the public typed
+// errors.
+func mapDeliverErr(err error) error {
+	var ignored *runtime.IgnoredError
+	switch {
+	case errors.Is(err, runtime.ErrFinished):
+		return wrapSentinel(ErrFinished, err)
+	case errors.As(err, &ignored):
+		return &IgnoredError{State: ignored.StateName, Message: ignored.Message}
+	default:
+		return err
+	}
 }
 
 // StateName returns the name of the current state.
