@@ -33,6 +33,7 @@ import (
 	"asagen/internal/commit/commitfsm4"
 	"asagen/internal/consensus"
 	"asagen/internal/core"
+	"asagen/internal/fleetsim"
 	"asagen/internal/models"
 	"asagen/internal/render"
 	"asagen/internal/runtime"
@@ -902,4 +903,47 @@ func BenchmarkTraceCheck(b *testing.B) {
 	}
 	b.Run("jsonl", func(b *testing.B) { run(b, trace.FormatJSONL, jsonl.Bytes()) })
 	b.Run("regex", func(b *testing.B) { run(b, trace.FormatRegex, text.Bytes()) })
+}
+
+// BenchmarkFleetSim measures the fleet-scale simulation engine (E17): one
+// full deterministic scenario run — hundreds of instances born by a
+// poisson arrival process over sharded virtual-time networks, every
+// delivery classified — per iteration. instances/sec is the engine's
+// wall-clock fleet throughput; the p50-ns/p99-ns metrics are the
+// *virtual-time* completion percentiles read off the deterministic
+// histogram, so the benchgate percentile gate pins the simulated latency
+// distribution exactly: any drift is a behaviour change, not noise.
+func BenchmarkFleetSim(b *testing.B) {
+	sc := fleetsim.Scenario{
+		Name:       "bench",
+		Model:      "commit",
+		Param:      4,
+		Instances:  256,
+		Seed:       42,
+		DurationMS: 10000,
+		Arrival:    fleetsim.Arrival{Process: fleetsim.ArrivalPoisson, RatePerSec: 100},
+		Faults:     fleetsim.Faults{DuplicateRate: 0.02},
+		Tolerance:  1,
+	}
+	if err := sc.Normalize(); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var rep *fleetsim.Report
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = fleetsim.Run(ctx, sc, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if rep.UnexpectedViolations != 0 {
+		b.Fatalf("%d unexpected violations", rep.UnexpectedViolations)
+	}
+	b.ReportMetric(float64(rep.Fleet.Born)*float64(b.N)/b.Elapsed().Seconds(), "instances/sec")
+	b.ReportMetric(float64(rep.Completion.P50Ns), "p50-ns")
+	b.ReportMetric(float64(rep.Completion.P99Ns), "p99-ns")
 }

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# wait-server.sh <base-url>: poll a just-started fsmgen server until its
+# /v1/formats route answers, failing after ~10 seconds. Shared by every CI
+# job that boots the server in the background.
+set -euo pipefail
+url="${1:?usage: wait-server.sh <base-url>}"
+for _ in $(seq 1 50); do
+  if curl -sf "$url/v1/formats" >/dev/null; then
+    exit 0
+  fi
+  sleep 0.2
+done
+echo "server at $url did not come up" >&2
+exit 1

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeScenario drops a small fast scenario config into dir.
+func writeScenario(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "scenario.json")
+	cfg := `{
+  "name": "cli-test",
+  "model": "commit",
+  "param": 4,
+  "instances": 64,
+  "shards": 4,
+  "seed": 5,
+  "duration_ms": 3000,
+  "arrival": {"process": "constant", "rate_per_sec": 200},
+  "faults": {"duplicate_rate": 0.05},
+  "tolerance": 1
+}
+`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunWritesReport: the CLI runs a scenario, writes the report, and two
+// invocations produce byte-identical files.
+func TestRunWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeScenario(t, dir)
+	out1 := filepath.Join(dir, "a.json")
+	out2 := filepath.Join(dir, "b.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-config", cfg, "-out", out1}, &stdout); err != nil {
+		t.Fatalf("run: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "unexpected") {
+		t.Errorf("summary missing violation line:\n%s", stdout.String())
+	}
+	if err := run([]string{"-config", cfg, "-out", out2}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(out1)
+	b, _ := os.ReadFile(out2)
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatal("CLI runs with the same scenario wrote different report bytes")
+	}
+}
+
+// TestRunGoldenGate: a matching golden passes, a drifted golden fails.
+func TestRunGoldenGate(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeScenario(t, dir)
+	golden := filepath.Join(dir, "golden.json")
+	var stdout bytes.Buffer
+	if err := run([]string{"-config", cfg, "-out", golden}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", cfg, "-golden", golden}, &stdout); err != nil {
+		t.Fatalf("matching golden failed the gate: %v", err)
+	}
+	// A different seed must trip the drift gate.
+	err := run([]string{"-config", cfg, "-seed", "99", "-golden", golden}, &stdout)
+	if err == nil || !strings.Contains(err.Error(), "drifted") {
+		t.Fatalf("drifted report passed the golden gate: %v", err)
+	}
+}
+
+// TestRunUsageErrors: missing and broken configs are reported.
+func TestRunUsageErrors(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run(nil, &stdout); err == nil {
+		t.Fatal("run without -config succeeded")
+	}
+	if err := run([]string{"-config", filepath.Join(t.TempDir(), "nope.json")}, &stdout); err == nil {
+		t.Fatal("run with a missing config file succeeded")
+	}
+}

@@ -1,0 +1,266 @@
+package fleetsim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"asagen/internal/core"
+	"asagen/internal/latency"
+	"asagen/internal/runtime"
+	"asagen/internal/trace"
+)
+
+// liveJob is one scheduled request: its open-loop due time and arrival
+// index (which selects render vs check and the format rotation).
+type liveJob struct {
+	due time.Time
+	i   int
+}
+
+// Live points the scenario's arrival process at a running /v1 server:
+// each scheduled arrival issues a render GET — or, every CheckEvery-th
+// arrival, POSTs a generated conforming trace to the /check route — and
+// latency is measured from the scheduled arrival time, so queueing under
+// overload is charged to the distribution (no coordinated omission). The
+// report shares the simulation's shape: request outcomes are classified
+// with the trace verdict vocabulary, any non-conforming outcome counts as
+// an unexpected violation, and the latency histograms carry the wall-clock
+// distribution. Live reports are measurements, not reproducible artifacts.
+func Live(ctx context.Context, sc Scenario, baseURL string, workers int) (*Report, error) {
+	if err := sc.Normalize(); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// The machine is generated locally from the same registry (and inline
+	// spec) the server uses, both to describe it in the report and to
+	// derive a conforming trace for the /check mix.
+	machine, err := BuildMachine(ctx, &sc)
+	if err != nil {
+		return nil, err
+	}
+	base := strings.TrimSuffix(baseURL, "/")
+	client := &http.Client{Timeout: time.Minute}
+	if len(sc.Spec) > 0 {
+		if err := registerSpec(ctx, client, base, sc.Spec); err != nil {
+			return nil, err
+		}
+	}
+
+	renderURLs := make([]string, len(sc.Formats))
+	for i, format := range sc.Formats {
+		renderURLs[i] = fmt.Sprintf("%s/v1/models/%s/artifacts/%s?r=%d", base, sc.Model, format, sc.Param)
+	}
+	checkURL := fmt.Sprintf("%s/v1/models/%s/check?r=%d&tolerance=%d", base, sc.Model, sc.Param, sc.Tolerance)
+	checkTrace := ConformingTrace(machine, sc.Seed, 128)
+
+	// Fail fast on a broken mix before committing to the run.
+	for _, u := range renderURLs {
+		if err := probe(ctx, client, u); err != nil {
+			return nil, fmt.Errorf("fleetsim: probe %s: %w", u, err)
+		}
+	}
+
+	rep := &Report{
+		Harness:             "live",
+		Scenario:            sc,
+		Machine:             machineInfo(machine),
+		Verdicts:            &trace.Tally{},
+		DeliveryHistogram:   &latency.Histogram{},
+		CompletionHistogram: &latency.Histogram{},
+	}
+	rep.Fleet.Instances = sc.Instances
+
+	var (
+		mu         sync.Mutex
+		wg         sync.WaitGroup
+		delivery   latency.Histogram
+		completion latency.Histogram
+	)
+	jobs := make(chan liveJob, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local latency.Histogram
+			var localCheck latency.Histogram
+			var tally trace.Tally
+			var finished, unexpected int64
+			for job := range jobs {
+				if wait := time.Until(job.due); wait > 0 {
+					select {
+					case <-time.After(wait):
+					case <-ctx.Done():
+						return
+					}
+				}
+				isCheck := sc.CheckEvery > 0 && job.i%sc.CheckEvery == sc.CheckEvery-1
+				var err error
+				if isCheck {
+					err = postCheck(ctx, client, checkURL, checkTrace)
+				} else {
+					err = probe(ctx, client, renderURLs[job.i%len(renderURLs)])
+				}
+				lat := time.Since(job.due)
+				local.Record(lat)
+				if err != nil {
+					tally.Add(trace.KindViolation)
+					unexpected++
+					continue
+				}
+				tally.Add(trace.KindAccepted)
+				if isCheck {
+					tally.Add(trace.KindFinished)
+					localCheck.Record(lat)
+					finished++
+				}
+			}
+			mu.Lock()
+			delivery.Merge(&local)
+			completion.Merge(&localCheck)
+			rep.Verdicts.Merge(&tally)
+			rep.Fleet.Finished += int(finished)
+			rep.UnexpectedViolations += unexpected
+			mu.Unlock()
+		}()
+	}
+
+	// The same arrival processes as the simulation, over wall time.
+	arrivalRng := rand.New(rand.NewSource(sc.Seed))
+	start := time.Now()
+	end := start.Add(sc.Duration())
+	var offset time.Duration
+	issued := 0
+scheduling:
+	for i := 0; i < sc.Instances; i++ {
+		switch sc.Arrival.Process {
+		case ArrivalPoisson:
+			offset += time.Duration(arrivalRng.ExpFloat64() / sc.Arrival.RatePerSec * float64(time.Second))
+		default:
+			offset += time.Duration(float64(time.Second) / sc.Arrival.RatePerSec)
+		}
+		due := start.Add(offset)
+		if due.After(end) {
+			break
+		}
+		select {
+		case jobs <- liveJob{due: due, i: i}:
+			issued++
+		case <-ctx.Done():
+			break scheduling
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.Fleet.Born = issued
+	rep.Fleet.Truncated = sc.Instances - issued
+	rep.DeliveryHistogram.Merge(&delivery)
+	rep.CompletionHistogram.Merge(&completion)
+	rep.Events = rep.DeliveryHistogram.Count()
+	rep.finish(elapsed)
+	return rep, ctx.Err()
+}
+
+// probe issues one GET and drains the body, failing on any non-200.
+func probe(ctx context.Context, client *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return nil
+}
+
+// postCheck streams the trace to the /check route and requires the SSE
+// stream to end in a conforming summary.
+func postCheck(ctx context.Context, client *http.Client, url string, trace []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(trace))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	if !bytes.Contains(body, []byte("event: summary")) {
+		return fmt.Errorf("check stream ended without a summary event")
+	}
+	if !bytes.Contains(body, []byte(`"violations":0`)) {
+		return fmt.Errorf("conforming trace reported violations")
+	}
+	return nil
+}
+
+// registerSpec registers the scenario's inline spec document on the live
+// server; an already-registered model (409) is fine.
+func registerSpec(ctx context.Context, client *http.Client, base string, doc []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/models", bytes.NewReader(doc))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("fleetsim: register inline spec: status %s", resp.Status)
+	}
+	return nil
+}
+
+// ConformingTrace walks the machine with a seeded random applicable-only
+// policy and renders the walk as a JSON Lines trace: by construction the
+// /check route judges it conforming. The walk stops at the finish state
+// or after maxLines deliveries.
+func ConformingTrace(machine *core.StateMachine, seed int64, maxLines int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	inst, err := runtime.New(machine, nil)
+	if err != nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	for line := 0; line < maxLines && !inst.Finished(); line++ {
+		applicable := inst.State().SortedMessages(machine.Messages)
+		if len(applicable) == 0 {
+			break
+		}
+		msg := applicable[rng.Intn(len(applicable))]
+		if _, err := inst.Deliver(msg); err != nil {
+			break
+		}
+		fmt.Fprintf(&buf, "{\"msg\":%q}\n", msg)
+	}
+	return buf.Bytes()
+}

@@ -117,6 +117,75 @@ func TestEmptyHistogram(t *testing.T) {
 	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
 		t.Fatalf("empty histogram: %s", h.String())
 	}
+	// Every quantile of an empty histogram is zero, including the
+	// boundary and out-of-range inputs.
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1, -1, 2, math.NaN()} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+// TestSingleSample: with one observation every quantile is that exact
+// value — bucket upper bounds are clamped to the recorded max/min.
+func TestSingleSample(t *testing.T) {
+	var h Histogram
+	v := 1234567 * time.Nanosecond // mid-bucket, not a bucket boundary
+	h.Record(v)
+	if h.Count() != 1 || h.Min() != v || h.Max() != v || h.Mean() != v {
+		t.Fatalf("single sample summary: %s", h.String())
+	}
+	for _, q := range []float64{0, 0.001, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != v {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, v)
+		}
+	}
+}
+
+// TestBelowBucketRange: zero and negative durations land in the first
+// exact bucket rather than corrupting the distribution.
+func TestBelowBucketRange(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-time.Hour)
+	h.Record(time.Nanosecond)
+	if h.Count() != 3 || h.Min() != 0 || h.Max() != time.Nanosecond {
+		t.Fatalf("below-range summary: %s", h.String())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile(0.5) = %v, want 0", got)
+	}
+	if got := h.Quantile(1); got != time.Nanosecond {
+		t.Errorf("Quantile(1) = %v, want 1ns", got)
+	}
+}
+
+// TestAboveBucketRange: values far beyond any real latency (up to the
+// 2^62-1 design limit) still index a valid bucket and keep quantiles
+// clamped to the recorded max.
+func TestAboveBucketRange(t *testing.T) {
+	var h Histogram
+	huge := time.Duration(1<<62 - 1)
+	h.Record(huge)
+	h.Record(24 * 365 * time.Hour)
+	if idx := bucketIndex(int64(huge)); idx < 0 || idx >= nBuckets {
+		t.Fatalf("bucketIndex(2^62-1) = %d out of [0,%d)", idx, nBuckets)
+	}
+	if h.Count() != 2 || h.Max() != huge {
+		t.Fatalf("above-range summary: %s", h.String())
+	}
+	for _, q := range []float64{0.99, 1} {
+		if got := h.Quantile(q); got != huge {
+			t.Errorf("Quantile(%v) = %v, want max %v", q, got, huge)
+		}
+	}
+	// Merging extreme histograms keeps the invariants.
+	var other Histogram
+	other.Record(time.Millisecond)
+	h.Merge(&other)
+	if h.Count() != 3 || h.Min() != time.Millisecond || h.Max() != huge {
+		t.Fatalf("merged above-range summary: %s", h.String())
+	}
 }
 
 func TestNegativeClampsToZero(t *testing.T) {

@@ -312,6 +312,21 @@ func (n *Network) Run(maxEvents int) int {
 	return processed
 }
 
+// RunUntilTime delivers every event scheduled at or before deadline, in
+// virtual-time order, and returns the number of events processed. Events
+// scheduled later stay queued and the clock never advances past the
+// deadline, so a caller can drive many independently scheduled instances
+// for a bounded span of virtual time and stop at a cut that is identical
+// for every node — the multi-instance analogue of Run's event budget.
+func (n *Network) RunUntilTime(deadline time.Duration) int {
+	processed := 0
+	for len(n.queue) > 0 && n.queue[0].at <= deadline {
+		n.Step()
+		processed++
+	}
+	return processed
+}
+
 // RunUntil delivers events until cond holds, the queue drains, or maxEvents
 // deliveries occur. It reports whether cond held when it stopped.
 func (n *Network) RunUntil(cond func() bool, maxEvents int) bool {

@@ -326,3 +326,85 @@ func TestBroadcast(t *testing.T) {
 		t.Error("broadcast delivered to sender")
 	}
 }
+
+func TestRunUntilTime(t *testing.T) {
+	n := New(14)
+	var fired []string
+	n.After(5*time.Millisecond, func() { fired = append(fired, "a") })
+	n.After(10*time.Millisecond, func() { fired = append(fired, "b") })
+	n.After(20*time.Millisecond, func() { fired = append(fired, "c") })
+
+	// Deadline between the second and third timer: exactly two fire.
+	if got := n.RunUntilTime(15 * time.Millisecond); got != 2 {
+		t.Fatalf("RunUntilTime processed %d events, want 2", got)
+	}
+	if len(fired) != 2 || fired[0] != "a" || fired[1] != "b" {
+		t.Fatalf("fired = %v", fired)
+	}
+	if n.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", n.Pending())
+	}
+	if n.Now() > 15*time.Millisecond {
+		t.Fatalf("clock advanced past deadline: %v", n.Now())
+	}
+	// A deadline on an event's exact timestamp includes that event.
+	if got := n.RunUntilTime(20 * time.Millisecond); got != 1 {
+		t.Fatalf("boundary event not processed: %d", got)
+	}
+	// Draining an empty queue is a no-op.
+	if got := n.RunUntilTime(time.Hour); got != 0 {
+		t.Fatalf("empty-queue RunUntilTime processed %d events", got)
+	}
+}
+
+// timerFiringOrder schedules many timers with durations sampled from the
+// network's own PRNG plus latency-jittered self-messages, and returns the
+// order everything fired in.
+func timerFiringOrder(seed int64) []int {
+	n := New(seed, WithLatency(time.Millisecond, 10*time.Millisecond))
+	var order []int
+	_ = n.AddNode("node", HandlerFunc(func(net *Network, msg Message) {
+		order = append(order, msg.Payload.(int))
+	}))
+	for i := 0; i < 200; i++ {
+		i := i
+		d := time.Duration(n.Rand().Int63n(int64(50 * time.Millisecond)))
+		if i%3 == 0 {
+			n.Send(Message{From: "ext", To: "node", Type: "tick", Payload: i})
+		} else {
+			n.After(d, func() { order = append(order, i) })
+		}
+	}
+	n.Run(0)
+	return order
+}
+
+// TestManyTimersDeterministicOrder: hundreds of concurrently scheduled
+// timers and jittered messages fire in exactly the same order for the
+// same seed — the property fleet-scale shard reports depend on — and in
+// a different order for a different seed.
+func TestManyTimersDeterministicOrder(t *testing.T) {
+	a := timerFiringOrder(99)
+	b := timerFiringOrder(99)
+	if len(a) != 200 {
+		t.Fatalf("fired %d of 200 events", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d: %d != %d", i, a[i], b[i])
+		}
+	}
+	c := timerFiringOrder(100)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical firing order")
+	}
+}
