@@ -17,6 +17,7 @@ package asagen_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -29,6 +30,7 @@ import (
 	"asagen/internal/api"
 	"asagen/internal/artifact"
 	"asagen/internal/chord"
+	"asagen/internal/cluster"
 	"asagen/internal/commit"
 	"asagen/internal/commit/commitfsm4"
 	"asagen/internal/consensus"
@@ -946,4 +948,67 @@ func BenchmarkFleetSim(b *testing.B) {
 	b.ReportMetric(float64(rep.Fleet.Born)*float64(b.N)/b.Elapsed().Seconds(), "instances/sec")
 	b.ReportMetric(float64(rep.Completion.P50Ns), "p50-ns")
 	b.ReportMetric(float64(rep.Completion.P99Ns), "p99-ns")
+}
+
+// nullTransport and nullClock isolate the routing hot path: no sends
+// fire and no timers arm, so the benchmark measures only the ring
+// lookup and the ownership decision.
+type nullTransport struct{}
+
+func (nullTransport) Send(string, string, []byte) {}
+
+type nullClock struct{}
+
+func (nullClock) Now() time.Duration          { return 0 }
+func (nullClock) After(time.Duration, func()) {}
+
+// BenchmarkClusterRoute measures the cluster serve path's per-request
+// routing decision — consistent-hash ring lookup plus owner/replica
+// classification — across membership sizes. The decision sits on the
+// /v1 hot path of every clustered request, so it is ns/op and
+// alloc-gated like the render-path benchmarks.
+func BenchmarkClusterRoute(b *testing.B) {
+	for _, size := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("nodes=%d", size), func(b *testing.B) {
+			node, err := cluster.New(cluster.Config{
+				ID: "bench-node-000", URL: "bench-node-000", Replicas: 2,
+				Transport: nullTransport{}, Clock: nullClock{},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			node.Start()
+			members := make([]cluster.Member, 0, size-1)
+			for i := 1; i < size; i++ {
+				id := fmt.Sprintf("bench-node-%03d", i)
+				members = append(members, cluster.Member{ID: id, URL: id, Incarnation: 1, Status: cluster.StatusAlive})
+			}
+			payload, err := json.Marshal(struct {
+				From    cluster.Member   `json:"from"`
+				Members []cluster.Member `json:"members"`
+			}{From: members[0], Members: members})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := node.Handle(cluster.KindGossipAck, payload, members[0].URL); err != nil {
+				b.Fatal(err)
+			}
+			keys := make([]string, 512)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("%016x", uint64(chord.HashString(fmt.Sprintf("machine-fingerprint-%d", i))))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			owners := 0
+			for i := 0; i < b.N; i++ {
+				if node.Route(keys[i%len(keys)]).Relation == cluster.RelOwner {
+					owners++
+				}
+			}
+			b.StopTimer()
+			if owners == 0 && b.N >= len(keys) {
+				b.Fatal("node owned none of 512 uniform keys — the ring is broken")
+			}
+		})
+	}
 }

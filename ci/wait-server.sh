@@ -1,14 +1,30 @@
 #!/usr/bin/env bash
-# wait-server.sh <base-url>: poll a just-started fsmgen server until its
-# /v1/formats route answers, failing after ~10 seconds. Shared by every CI
-# job that boots the server in the background.
+# wait-server.sh <base-url-or-port>...: poll one or more just-started
+# fsmgen servers until every /v1/formats route answers, failing after ~10
+# seconds per server. A bare port argument is shorthand for
+# http://localhost:<port>, so multi-node cluster jobs can wait on
+# "8091 8092". Shared by every CI job that boots servers in the
+# background.
 set -euo pipefail
-url="${1:?usage: wait-server.sh <base-url>}"
-for _ in $(seq 1 50); do
-  if curl -sf "$url/v1/formats" >/dev/null; then
-    exit 0
+if [ "$#" -lt 1 ]; then
+  echo "usage: wait-server.sh <base-url-or-port>..." >&2
+  exit 2
+fi
+for target in "$@"; do
+  case "$target" in
+    *://*) url="$target" ;;
+    *) url="http://localhost:$target" ;;
+  esac
+  up=0
+  for _ in $(seq 1 50); do
+    if curl -sf "$url/v1/formats" >/dev/null; then
+      up=1
+      break
+    fi
+    sleep 0.2
+  done
+  if [ "$up" -ne 1 ]; then
+    echo "server at $url did not come up" >&2
+    exit 1
   fi
-  sleep 0.2
 done
-echo "server at $url did not come up" >&2
-exit 1

@@ -46,7 +46,7 @@ func run(args []string, stdout io.Writer) error {
 		config   = fs.String("config", "", "scenario config `file` (required)")
 		out      = fs.String("out", "", "write the canonical JSON report to this file")
 		golden   = fs.String("golden", "", "compare the report byte-for-byte against this checked-in report")
-		url      = fs.String("url", "", "drive a live /v1 server instead of the simulation")
+		url      = fs.String("url", "", "drive live /v1 servers instead of the simulation (comma-separated list round-robins arrivals)")
 		workers  = fs.Int("workers", runtime.NumCPU(), "bound on concurrently executing shards (simulation) or in-flight requests (live)")
 		duration = fs.Int64("duration-ms", 0, "override the scenario's duration_ms")
 		seed     = fs.Int64("seed", 0, "override the scenario's seed (live with seed 0 keeps the config's)")

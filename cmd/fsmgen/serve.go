@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"asagen/internal/api"
 	"asagen/internal/artifact"
+	"asagen/internal/cluster"
 	"asagen/internal/models"
 	"asagen/internal/render"
 	"asagen/internal/store"
@@ -20,6 +22,11 @@ import (
 // writable model collection, error envelope, caching headers,
 // request-scoped cancellation, and the deprecated legacy shims — lives in
 // internal/api and is documented in the generated API.md.
+//
+// With -cluster the server additionally joins a peer ring (internal/
+// cluster): artifact requests shard across nodes by consistent hashing
+// on machine fingerprints, membership spreads by gossip, and rendered
+// artifacts propagate to the next -replicas ring successors.
 
 // runServe parses serve-mode flags and blocks serving HTTP.
 func runServe(args []string, stdout io.Writer) error {
@@ -30,6 +37,12 @@ func runServe(args []string, stdout io.Writer) error {
 		cacheLimit = fs.Int("cache-limit", 128, "machine cache entry bound (0 = unbounded)")
 		storeDir   = fs.String("store", "", "content-addressed artifact store directory (empty = in-memory only); a restarted server serves previously rendered artefacts from disk")
 		storeLimit = fs.Int64("store-limit", 0, "artifact store size bound in bytes (0 = unbounded); least-recently-used artefacts are evicted beyond it")
+		clustered  = fs.Bool("cluster", false, "join a peer ring: shard artifact requests by fingerprint and replicate renders to ring successors")
+		peers      = fs.String("peers", "", "comma-separated peer base URLs gossiped to at startup (cluster mode)")
+		nodeID     = fs.String("node-id", "", "stable node name hashed onto the ring (default: the advertised URL)")
+		advertise  = fs.String("advertise", "", "base URL peers reach this node at (default: http://localhost<addr>)")
+		replicas   = fs.Int("replicas", 2, "successor-list length s: each artifact is pushed to its owner's next s ring successors (cluster mode)")
+		seed       = fs.Int64("cluster-seed", 1, "seed for gossip target selection (cluster mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -39,6 +52,7 @@ func runServe(args []string, stdout io.Writer) error {
 	// servers (or with any other code in the process).
 	reg := models.Default().Clone()
 	opts := []artifact.Option{artifact.WithJobs(*jobs), artifact.WithRegistry(reg)}
+	var st *store.Store
 	if *storeDir != "" {
 		s, err := store.Open(*storeDir)
 		if err != nil {
@@ -48,21 +62,75 @@ func runServe(args []string, stdout io.Writer) error {
 		if *storeLimit > 0 {
 			s.SetLimit(*storeLimit)
 		}
+		st = s
 		opts = append(opts, artifact.WithStore(s))
 		fmt.Fprintf(stdout, "fsmgen serve: artifact store %s (%d artefacts warm)\n",
 			s.Dir(), s.Len())
 	}
 	p := artifact.New(opts...)
 	p.Cache().SetLimit(*cacheLimit)
+
+	var handlerOpts []api.HandlerOption
+	if *clustered {
+		url := *advertise
+		if url == "" {
+			url = "http://localhost" + *addr
+			if !strings.HasPrefix(*addr, ":") {
+				url = "http://" + *addr
+			}
+		}
+		id := *nodeID
+		if id == "" {
+			id = url
+		}
+		cfg := cluster.Config{
+			ID:       id,
+			URL:      url,
+			Replicas: *replicas,
+			Seed:     *seed,
+			Clock:    cluster.NewRealClock(),
+			Log:      cluster.NewBoundedLog(256),
+			Peers:    splitList(*peers),
+		}
+		transport := cluster.NewHTTPTransport(nil)
+		cfg.Transport = transport
+		if st != nil {
+			cfg.Ingest = func(b cluster.Blob) error {
+				return st.Ingest(b.Key, b.Data, b.Sum, b.Media, b.Ext)
+			}
+		}
+		node, err := cluster.New(cfg)
+		if err != nil {
+			return err
+		}
+		transport.Bind(node)
+		node.Start()
+		defer node.Stop()
+		handlerOpts = append(handlerOpts, api.WithCluster(node))
+		fmt.Fprintf(stdout, "fsmgen serve: cluster node %s at %s (replicas %d, peers %v)\n",
+			id, url, *replicas, splitList(*peers))
+	}
+
 	fmt.Fprintf(stdout, "fsmgen serve: listening on %s (%d models, %d formats)\n",
 		*addr, len(reg.Names()), len(render.Formats()))
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.NewHandler(p),
+		Handler:           api.NewHandler(p, handlerOpts...),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
 	return srv.ListenAndServe()
+}
+
+// splitList splits a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
 }

@@ -13,8 +13,10 @@
 // thinning the arrival stream (no coordinated omission).
 //
 // The request mix is the cross product of -models × -formats, cycled
-// round-robin. With -url it targets a live server (e.g. `fsmgen serve
-// -store dir`); without it, it boots an in-process server over its own
+// round-robin. With -url it targets one or more live servers — a
+// comma-separated list round-robins arrivals across the fleet, e.g. the
+// nodes of a `fsmgen serve -cluster` ring; without it, it boots an
+// in-process server over its own
 // pipeline — with -store persisting artefacts to disk — so a single
 // binary can measure the full HTTP stack without external orchestration.
 //
@@ -76,7 +78,7 @@ type report struct {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	var (
-		url         = fs.String("url", "", "base URL of a running server (empty = boot an in-process server)")
+		url         = fs.String("url", "", "comma-separated base URLs of running servers, arrivals round-robin across them (empty = boot an in-process server)")
 		duration    = fs.Duration("duration", 5*time.Second, "measurement duration")
 		concurrency = fs.Int("c", 8, "concurrent workers")
 		rate        = fs.Float64("rate", 0, "open-loop arrival rate per second (0 = closed loop)")
@@ -95,8 +97,8 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("concurrency must be at least 1")
 	}
 
-	base := *url
-	if base == "" {
+	bases := splitBases(*url)
+	if len(bases) == 0 {
 		opts := []artifact.Option{artifact.WithRegistry(models.Default().Clone())}
 		if *storeDir != "" {
 			s, err := store.Open(*storeDir)
@@ -108,10 +110,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 		ts := httptest.NewServer(api.NewHandler(artifact.New(opts...)))
 		defer ts.Close()
-		base = ts.URL
+		bases = []string{ts.URL}
 	}
-	base = strings.TrimSuffix(base, "/")
 
+	// Targets are ordered base-fastest — every model×format path expands
+	// to one target per base, consecutively — so the workers' i%len cycle
+	// round-robins arrivals across the servers.
 	var targets []string
 	for _, model := range strings.Split(*modelsFlag, ",") {
 		model = strings.TrimSpace(model)
@@ -123,11 +127,13 @@ func run(args []string, stdout io.Writer) error {
 			if format == "" {
 				continue
 			}
-			t := base + "/v1/models/" + model + "/artifacts/" + format
+			path := "/v1/models/" + model + "/artifacts/" + format
 			if *param > 0 {
-				t += fmt.Sprintf("?r=%d", *param)
+				path += fmt.Sprintf("?r=%d", *param)
 			}
-			targets = append(targets, t)
+			for _, base := range bases {
+				targets = append(targets, base+path)
+			}
 		}
 	}
 	if len(targets) == 0 {
@@ -144,7 +150,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	rep := report{Target: base, Mode: "closed", Concurrent: *concurrency}
+	rep := report{Target: strings.Join(bases, ","), Mode: "closed", Concurrent: *concurrency}
 	var hist *latency.Histogram
 	var errs int64
 	if *rate > 0 {
@@ -187,6 +193,18 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("error rate %.2f%% exceeds %.2f%%", frac*100, *maxErrRate*100)
 	}
 	return nil
+}
+
+// splitBases splits the comma-separated -url value, trimming whitespace
+// and trailing slashes and dropping empty items.
+func splitBases(s string) []string {
+	var bases []string
+	for _, b := range strings.Split(s, ",") {
+		if b = strings.TrimSuffix(strings.TrimSpace(b), "/"); b != "" {
+			bases = append(bases, b)
+		}
+	}
+	return bases
 }
 
 // fetch issues one GET and drains the body, failing on any non-200.

@@ -34,8 +34,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"asagen/internal/artifact"
+	"asagen/internal/cluster"
 	"asagen/internal/core"
 	"asagen/internal/models"
 	"asagen/internal/render"
@@ -56,6 +58,9 @@ const (
 	CodeInvalidSpec       = "invalid_spec"
 	CodeBadTrace          = "bad_trace"
 	CodeTraceAborted      = "trace_aborted"
+	CodeNotClustered      = "not_clustered"
+	CodeBadClusterPayload = "bad_cluster_payload"
+	CodeProxyFailed       = "proxy_failed"
 )
 
 // maxSpecBytes bounds the POST /v1/models request body; a model spec is a
@@ -91,12 +96,40 @@ type Handler struct {
 	reg    *models.Registry
 	routes []Route
 	mux    *http.ServeMux
+	// cluster, when set, shards the artifact hot path across a node ring:
+	// every render request is routed by its fingerprint key and either
+	// served locally (owner or warm replica) or proxied to the owner.
+	cluster     *cluster.Node
+	proxyClient *http.Client
+}
+
+// HandlerOption configures a Handler.
+type HandlerOption func(*Handler)
+
+// WithCluster attaches a cluster node: artifact requests are routed over
+// its hash ring and the /v1/cluster routes answer with live state
+// instead of enabled=false.
+func WithCluster(n *cluster.Node) HandlerOption {
+	return func(h *Handler) { h.cluster = n }
+}
+
+// WithProxyClient substitutes the HTTP client used to proxy artifact
+// requests to owning nodes (default: 10-second timeout).
+func WithProxyClient(c *http.Client) HandlerOption {
+	return func(h *Handler) {
+		if c != nil {
+			h.proxyClient = c
+		}
+	}
 }
 
 // NewHandler returns the HTTP handler serving the /v1 API and the legacy
 // shims over the pipeline.
-func NewHandler(p *artifact.Pipeline) *Handler {
-	h := &Handler{p: p, reg: p.Registry()}
+func NewHandler(p *artifact.Pipeline, opts ...HandlerOption) *Handler {
+	h := &Handler{p: p, reg: p.Registry(), proxyClient: &http.Client{Timeout: 10 * time.Second}}
+	for _, opt := range opts {
+		opt(h)
+	}
 	h.routes = []Route{
 		{
 			Method:  "GET",
@@ -159,6 +192,24 @@ func NewHandler(p *artifact.Pipeline) *Handler {
 			Pattern: "/v1/stats",
 			Summary: "Report pipeline cache statistics, including cancelled generations.",
 			handler: h.handleStats,
+		},
+		{
+			Method:  "GET",
+			Pattern: "/v1/cluster",
+			Summary: "Report cluster membership, hash ring and routing-oracle status; standalone servers report enabled=false.",
+			handler: h.handleClusterStatus,
+		},
+		{
+			Method:  "POST",
+			Pattern: "/v1/cluster/gossip",
+			Summary: "Cluster-internal: merge a gossiped membership view; a push is answered with this node's own view.",
+			handler: h.handleClusterGossip,
+		},
+		{
+			Method:  "POST",
+			Pattern: "/v1/cluster/artifacts",
+			Summary: "Cluster-internal: ingest an artefact pushed by its owner, verified against its content sum.",
+			handler: h.handleClusterIngest,
 		},
 		{
 			Method:       "GET",
@@ -440,12 +491,23 @@ func (h *Handler) renderArtifact(w http.ResponseWriter, r *http.Request, req art
 		req.Param = param
 	}
 
+	if h.cluster != nil && !legacy {
+		h.serveClustered(w, r, req)
+		return
+	}
+
 	res := h.p.Render(r.Context(), req)
 	if res.Err != nil {
 		h.writeRenderError(w, r, res.Err, legacy)
 		return
 	}
+	h.writeArtifact(w, r, res, "")
+}
 
+// writeArtifact writes a successful render. relation, when non-empty, is
+// the serving node's cluster role for the key (owner/replica), stamped
+// with the node identity so clients and CI can see who answered.
+func (h *Handler) writeArtifact(w http.ResponseWriter, r *http.Request, res artifact.Result, relation string) {
 	// The validator, length and bytes were all precomputed at render time
 	// (artifact.Result); a cache hit writes the memoised byte slice without
 	// hashing, formatting or copying anything per request.
@@ -455,6 +517,10 @@ func (h *Handler) renderArtifact(w http.ResponseWriter, r *http.Request, req art
 	header.Set("Vary", "Accept-Encoding")
 	if !res.Fingerprint.IsZero() {
 		header.Set("X-Machine-Fingerprint", res.Fingerprint.String())
+	}
+	if relation != "" {
+		header.Set(HeaderNode, h.cluster.ID())
+		header.Set(HeaderRoute, relation)
 	}
 	if ifNoneMatchHas(r.Header.Get("If-None-Match"), res.ETag) {
 		w.WriteHeader(http.StatusNotModified)

@@ -77,6 +77,20 @@ func (h *Handler) Markdown() string {
 	b.WriteString("Preflight failures — unknown model, bad parameter, bad pattern —\n")
 	b.WriteString("are ordinary JSON-envelope responses; the event stream never starts.\n")
 
+	b.WriteString("\n## Cluster tier\n\n")
+	b.WriteString("A server started with `-cluster` joins a peer ring (see DESIGN.md,\n")
+	b.WriteString("\"Cluster tier\"): artifact requests shard across nodes by consistent\n")
+	b.WriteString("hashing on the machine fingerprint, and `GET /v1/cluster` reports the\n")
+	b.WriteString("gossiped membership view, the hash ring and the chord routing-oracle\n")
+	b.WriteString("state (a standalone server answers `{\"enabled\": false}`). Clustered\n")
+	b.WriteString("artefact responses carry `X-Asagen-Node` (the node whose pipeline\n")
+	b.WriteString("produced the bytes) and `X-Asagen-Route` (`owner`, `replica` or\n")
+	b.WriteString("`proxied`); a proxied response adds `X-Asagen-Proxied-By`. The\n")
+	b.WriteString("`/v1/cluster/gossip` and `/v1/cluster/artifacts` routes are the\n")
+	b.WriteString("cluster-internal transport — peers exchange membership views and push\n")
+	b.WriteString("rendered artefacts to replicas through them; they answer\n")
+	b.WriteString("`not_clustered` on standalone servers.\n")
+
 	b.WriteString("\n## Error envelope\n\n")
 	b.WriteString("Failures are reported as JSON:\n\n")
 	b.WriteString("```json\n{\"error\": {\"code\": \"unknown_model\", \"message\": \"...\"}}\n```\n\n")
@@ -92,6 +106,9 @@ func (h *Handler) Markdown() string {
 	b.WriteString("| `model_exists` | 409 | spec name already registered; unregister it first to replace |\n")
 	b.WriteString("| `bad_trace` | 400 (or in-stream `error` event) | bad trace format/pattern, or undecodable trace content |\n")
 	b.WriteString("| `trace_aborted` | in-stream `error` event | trace body read failed mid-check |\n")
+	b.WriteString("| `not_clustered` | 404 | cluster-internal route on a server not started with `-cluster` |\n")
+	b.WriteString("| `bad_cluster_payload` | 400 | undecodable gossip view or propagation blob, or a blob failing content verification |\n")
+	b.WriteString("| `proxy_failed` | 502 | the key's owning node was unreachable while proxying; retry after the next gossip round |\n")
 	b.WriteString("| `not_found` | 404 | no such route |\n")
 	b.WriteString("| `method_not_allowed` | 405 | method not served on the path; see the `Allow` header |\n")
 

@@ -126,6 +126,11 @@ type Pipeline struct {
 	// concurrent misses on one raw request into a single computation.
 	hot     map[Request]Result
 	flights map[Request]*flight
+	// routes memoises cluster routing-key resolution per raw request, so
+	// the clustered serve hot path pays one map hit instead of a registry
+	// build + fingerprint per request. Cleared wherever fingerprints can
+	// change (Purge, PurgeModel, UpdateModel).
+	routes map[Request]routeMemo
 	// epoch guards the hot memo and the store against stale repopulation:
 	// Purge, PurgeModel and UpdateModel bump it, and a computation begun
 	// under an older epoch never writes its result back.
@@ -246,6 +251,7 @@ func New(opts ...Option) *Pipeline {
 		renders:  make(map[renderKey]*renderEntry),
 		hot:      make(map[Request]Result),
 		flights:  make(map[Request]*flight),
+		routes:   make(map[Request]routeMemo),
 		modelFPs: make(map[string]map[core.Fingerprint]int),
 	}
 	for _, opt := range opts {
@@ -294,6 +300,7 @@ func (p *Pipeline) Purge() {
 	p.efsms = make(map[efsmKey]*efsmEntry)
 	p.renders = make(map[renderKey]*renderEntry)
 	p.hot = make(map[Request]Result)
+	p.routes = make(map[Request]routeMemo)
 	p.modelFPs = make(map[string]map[core.Fingerprint]int)
 	p.epoch++
 	p.mu.Unlock()
@@ -329,6 +336,11 @@ func (p *Pipeline) PurgeModel(name string) int {
 	for req := range p.hot {
 		if req.Model == name {
 			delete(p.hot, req)
+		}
+	}
+	for req := range p.routes {
+		if req.Model == name {
+			delete(p.routes, req)
 		}
 	}
 	p.epoch++
@@ -638,6 +650,11 @@ func (p *Pipeline) UpdateModel(entry models.Entry, delta core.ModelDelta) (bool,
 	for req := range p.hot {
 		if req.Model == entry.Name {
 			delete(p.hot, req)
+		}
+	}
+	for req := range p.routes {
+		if req.Model == entry.Name {
+			delete(p.routes, req)
 		}
 	}
 	p.epoch++

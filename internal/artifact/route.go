@@ -1,0 +1,143 @@
+package artifact
+
+import (
+	"fmt"
+	"strconv"
+
+	"asagen/internal/render"
+	"asagen/internal/store"
+)
+
+// routeMemo is one memoised routing-key resolution.
+type routeMemo struct {
+	key string
+	req Request // the request with Param resolved
+}
+
+// RouteKey resolves req against the registry and returns the cluster
+// routing key the artifact shards on, plus the request with its
+// parameter resolved. Machine formats key on the model fingerprint —
+// every format of one generated machine lands on the same owner, so a
+// single propagation warms all of them — while EFSM formats, which have
+// no machine fingerprint, key on (model, param). Resolution is memoised
+// per raw request; errors use the package's sentinel classification.
+func (p *Pipeline) RouteKey(req Request) (string, Request, error) {
+	p.mu.Lock()
+	if m, ok := p.routes[req]; ok {
+		p.mu.Unlock()
+		return m.key, m.req, nil
+	}
+	epoch := p.epoch
+	p.mu.Unlock()
+
+	raw := req
+	entry, err := p.reg.Get(req.Model)
+	if err != nil {
+		return "", req, fmt.Errorf("%w: %q (known: %v)", ErrUnknownModel, req.Model, p.reg.Names())
+	}
+	if req.Param <= 0 {
+		req.Param = entry.DefaultParam
+	}
+	if !render.Known(req.Format) {
+		return "", req, fmt.Errorf("%w: %q (known: %v)", ErrUnknownFormat, req.Format, render.Formats())
+	}
+	var key string
+	if render.IsEFSMFormat(req.Format) {
+		if entry.EFSM == nil {
+			return "", req, fmt.Errorf("%w: %q", ErrNoEFSM, req.Model)
+		}
+		key = "efsm/" + req.Model + "/" + strconv.Itoa(req.Param)
+	} else {
+		model, err := entry.Build(req.Param)
+		if err != nil {
+			return "", req, err
+		}
+		fp := p.cache.Fingerprint(model)
+		p.recordFingerprint(req.Model, req.Param, fp)
+		key = fp.String()
+	}
+
+	p.mu.Lock()
+	if p.epoch == epoch {
+		m := routeMemo{key: key, req: req}
+		p.routes[raw] = m
+		p.routes[req] = m
+	}
+	p.mu.Unlock()
+	return key, req, nil
+}
+
+// Probe reports the completed Result for req if it is already available
+// without rendering: from the hot memo, a finished render-memo entry, or
+// the attached store. It never generates — a clustered replica uses it
+// to decide between serving a warm copy and proxying to the owner.
+func (p *Pipeline) Probe(req Request) (Result, bool) {
+	p.mu.Lock()
+	if res, ok := p.hot[req]; ok {
+		p.renderHits++
+		p.hotHits++
+		p.mu.Unlock()
+		return res, true
+	}
+	p.mu.Unlock()
+
+	res := Result{Request: req}
+	entry, err := p.reg.Get(req.Model)
+	if err != nil {
+		return Result{}, false
+	}
+	if req.Param <= 0 {
+		req.Param = entry.DefaultParam
+		res.Request = req
+	}
+	if !render.Known(req.Format) {
+		return Result{}, false
+	}
+	var key renderKey
+	var skey store.Key
+	if render.IsEFSMFormat(req.Format) {
+		if entry.EFSM == nil {
+			return Result{}, false
+		}
+		key = renderKey{model: req.Model, param: req.Param, format: req.Format}
+		skey = store.Key{Model: req.Model, Param: req.Param, Format: req.Format}
+	} else {
+		model, err := entry.Build(req.Param)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Fingerprint = p.cache.Fingerprint(model)
+		key = renderKey{fp: res.Fingerprint, format: req.Format}
+		skey = store.Key{Model: req.Model, Param: req.Param, Format: req.Format, Fingerprint: res.Fingerprint.String()}
+	}
+
+	p.mu.Lock()
+	e, ok := p.renders[key]
+	p.mu.Unlock()
+	if ok {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				res.apply(e.out, nil)
+				return res, true
+			}
+		default:
+			// A render is in flight; the caller wanted a no-work answer.
+		}
+		return Result{}, false
+	}
+	if p.store == nil {
+		return Result{}, false
+	}
+	data, sum, media, ext, ok := p.store.Get(skey)
+	if !ok {
+		return Result{}, false
+	}
+	res.apply(rendered{
+		art:  render.Artifact{Format: req.Format, MediaType: media, Ext: ext, Data: data},
+		sum:  sum,
+		etag: etagFor(sum),
+		clen: strconv.Itoa(len(data)),
+	}, nil)
+	return res, true
+}

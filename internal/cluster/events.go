@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Log is the cluster event log: an append-only record of membership
+// transitions, ring rebuilds, oracle deliveries and artifact propagation.
+// Entries are stamped with the protocol clock, never the wall clock, so
+// under simnet the same seed produces a byte-identical log — the
+// determinism contract the integration test asserts.
+//
+// A Log may be shared by every node of an in-process cluster (the
+// integration tests do, yielding one interleaved history) or owned by a
+// single live node.
+type Log struct {
+	mu      sync.Mutex
+	entries []string
+	total   int
+	// limit bounds retained entries (oldest dropped first); 0 keeps all.
+	limit int
+}
+
+// NewLog returns an unbounded log.
+func NewLog() *Log { return &Log{} }
+
+// NewBoundedLog returns a log retaining only the most recent limit
+// entries, for long-running servers where the full history is unbounded.
+func NewBoundedLog(limit int) *Log { return &Log{limit: limit} }
+
+// Record appends one event. The timestamp is the caller's protocol
+// clock; node is the recording node's ID; kind is a stable event class;
+// detail is a deterministic, preformatted description.
+func (l *Log) Record(now time.Duration, node, kind, detail string) {
+	if l == nil {
+		return
+	}
+	line := fmt.Sprintf("t=%012d node=%s %s %s", now.Microseconds(), node, kind, detail)
+	l.mu.Lock()
+	l.entries = append(l.entries, line)
+	l.total++
+	if l.limit > 0 && len(l.entries) > l.limit {
+		l.entries = append(l.entries[:0], l.entries[len(l.entries)-l.limit:]...)
+	}
+	l.mu.Unlock()
+}
+
+// Bytes returns the retained log as newline-terminated text.
+func (l *Log) Bytes() []byte {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) == 0 {
+		return nil
+	}
+	return []byte(strings.Join(l.entries, "\n") + "\n")
+}
+
+// Recent returns up to n most recent entries, oldest first.
+func (l *Log) Recent(n int) []string {
+	if l == nil || n <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.entries) {
+		n = len(l.entries)
+	}
+	out := make([]string, n)
+	copy(out, l.entries[len(l.entries)-n:])
+	return out
+}
+
+// Total returns the number of events recorded over the log's lifetime,
+// including entries a bounded log has since dropped.
+func (l *Log) Total() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

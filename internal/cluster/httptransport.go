@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"time"
+)
+
+// HeaderClusterKind carries the protocol message kind on HTTP sends, so
+// one gossip route serves both pushes (which warrant an ack body) and
+// acks (which do not).
+const HeaderClusterKind = "X-Asagen-Cluster-Kind"
+
+// RealClock drives the protocol on the wall clock, measured from
+// process start so timestamps stay monotonic and compact.
+type RealClock struct{ start time.Time }
+
+// NewRealClock returns a clock whose epoch is now.
+func NewRealClock() *RealClock { return &RealClock{start: time.Now()} }
+
+// Now implements Clock.
+func (c *RealClock) Now() time.Duration { return time.Since(c.start) }
+
+// After implements Clock.
+func (c *RealClock) After(d time.Duration, fn func()) { time.AfterFunc(d, fn) }
+
+// HTTPTransport carries cluster payloads as POSTs to the peer's
+// /v1/cluster routes. Sends run on their own goroutines — gossip is
+// loss-tolerant, so failures are dropped and repaired by the next round.
+type HTTPTransport struct {
+	client *http.Client
+	node   *Node
+}
+
+// NewHTTPTransport returns a transport using client (nil for a
+// 5-second-timeout default).
+func NewHTTPTransport(client *http.Client) *HTTPTransport {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &HTTPTransport{client: client}
+}
+
+// Bind attaches the local node, the destination for push-pull gossip
+// acks carried on response bodies. Must be called before the node
+// starts.
+func (t *HTTPTransport) Bind(n *Node) { t.node = n }
+
+// Send implements Transport.
+func (t *HTTPTransport) Send(toURL, kind string, payload []byte) {
+	go t.post(toURL, kind, payload)
+}
+
+func (t *HTTPTransport) post(toURL, kind string, payload []byte) {
+	path := "/v1/cluster/gossip"
+	if kind == KindPropagate {
+		path = "/v1/cluster/artifacts"
+	}
+	req, err := http.NewRequest(http.MethodPost, toURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderClusterKind, kind)
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if kind == KindGossip && resp.StatusCode == http.StatusOK && t.node != nil {
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err == nil && len(body) > 0 {
+			// The response body is the peer's view: merge it like any
+			// other ack (push-pull anti-entropy halves convergence time).
+			t.node.Handle(KindGossipAck, body, toURL)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"time"
+
+	"asagen/internal/simnet"
+)
+
+// SimClock drives the protocol on simnet virtual time.
+type SimClock struct{ Net *simnet.Network }
+
+// Now implements Clock.
+func (c SimClock) Now() time.Duration { return c.Net.Now() }
+
+// After implements Clock.
+func (c SimClock) After(d time.Duration, fn func()) { c.Net.After(d, fn) }
+
+// SimTransport carries cluster payloads as simnet messages; node URLs
+// double as simnet node IDs. Delivery is always deferred to the event
+// queue, so sends made while holding node locks cannot re-enter.
+type SimTransport struct {
+	Net  *simnet.Network
+	Self simnet.NodeID
+}
+
+// Send implements Transport.
+func (t SimTransport) Send(toURL, kind string, payload []byte) {
+	t.Net.Send(simnet.Message{From: t.Self, To: simnet.NodeID(toURL), Type: kind, Payload: payload})
+}
+
+// BindSimnet registers node on net under its URL: delivered cluster
+// messages are handed to Node.Handle, and gossip acks are sent back as
+// further simnet messages.
+func BindSimnet(net *simnet.Network, node *Node) error {
+	self := simnet.NodeID(node.cfg.URL)
+	return net.AddNode(self, simnet.HandlerFunc(func(nw *simnet.Network, msg simnet.Message) {
+		payload, _ := msg.Payload.([]byte)
+		reply, err := node.Handle(msg.Type, payload, string(msg.From))
+		if err != nil {
+			node.record(nw.Now(), "handle-error", err.Error())
+			return
+		}
+		if reply != nil {
+			nw.Send(simnet.Message{From: self, To: msg.From, Type: KindGossipAck, Payload: reply})
+		}
+	}))
+}

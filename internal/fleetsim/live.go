@@ -28,7 +28,10 @@ type liveJob struct {
 // each scheduled arrival issues a render GET — or, every CheckEvery-th
 // arrival, POSTs a generated conforming trace to the /check route — and
 // latency is measured from the scheduled arrival time, so queueing under
-// overload is charged to the distribution (no coordinated omission). The
+// overload is charged to the distribution (no coordinated omission).
+// baseURL may be a comma-separated list of servers — the nodes of a
+// `fsmgen serve -cluster` ring, say — and arrivals then round-robin
+// across them; a single URL behaves exactly as before. The
 // report shares the simulation's shape: request outcomes are classified
 // with the trace verdict vocabulary, any non-conforming outcome counts as
 // an unexpected violation, and the latency histograms carry the wall-clock
@@ -47,19 +50,39 @@ func Live(ctx context.Context, sc Scenario, baseURL string, workers int) (*Repor
 	if err != nil {
 		return nil, err
 	}
-	base := strings.TrimSuffix(baseURL, "/")
+	var bases []string
+	for _, b := range strings.Split(baseURL, ",") {
+		if b = strings.TrimSuffix(strings.TrimSpace(b), "/"); b != "" {
+			bases = append(bases, b)
+		}
+	}
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("fleetsim: empty live target list %q", baseURL)
+	}
 	client := &http.Client{Timeout: time.Minute}
 	if len(sc.Spec) > 0 {
-		if err := registerSpec(ctx, client, base, sc.Spec); err != nil {
-			return nil, err
+		// Registrations are per serving instance, so an inline spec must
+		// land on every target.
+		for _, base := range bases {
+			if err := registerSpec(ctx, client, base, sc.Spec); err != nil {
+				return nil, err
+			}
 		}
 	}
 
-	renderURLs := make([]string, len(sc.Formats))
-	for i, format := range sc.Formats {
-		renderURLs[i] = fmt.Sprintf("%s/v1/models/%s/artifacts/%s?r=%d", base, sc.Model, format, sc.Param)
+	// URL lists are ordered base-fastest, so the arrival index's
+	// round-robin cycles across the servers before repeating a format.
+	renderURLs := make([]string, 0, len(sc.Formats)*len(bases))
+	for _, format := range sc.Formats {
+		for _, base := range bases {
+			renderURLs = append(renderURLs,
+				fmt.Sprintf("%s/v1/models/%s/artifacts/%s?r=%d", base, sc.Model, format, sc.Param))
+		}
 	}
-	checkURL := fmt.Sprintf("%s/v1/models/%s/check?r=%d&tolerance=%d", base, sc.Model, sc.Param, sc.Tolerance)
+	checkURLs := make([]string, len(bases))
+	for i, base := range bases {
+		checkURLs[i] = fmt.Sprintf("%s/v1/models/%s/check?r=%d&tolerance=%d", base, sc.Model, sc.Param, sc.Tolerance)
+	}
 	checkTrace := ConformingTrace(machine, sc.Seed, 128)
 
 	// Fail fast on a broken mix before committing to the run.
@@ -105,7 +128,7 @@ func Live(ctx context.Context, sc Scenario, baseURL string, workers int) (*Repor
 				isCheck := sc.CheckEvery > 0 && job.i%sc.CheckEvery == sc.CheckEvery-1
 				var err error
 				if isCheck {
-					err = postCheck(ctx, client, checkURL, checkTrace)
+					err = postCheck(ctx, client, checkURLs[job.i%len(checkURLs)], checkTrace)
 				} else {
 					err = probe(ctx, client, renderURLs[job.i%len(renderURLs)])
 				}

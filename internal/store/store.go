@@ -349,6 +349,22 @@ func (s *Store) Put(key Key, data []byte, sum [sha256.Size]byte, media, ext stri
 	return nil
 }
 
+// Ingest persists an artefact pushed by a remote node, verifying the
+// content against the advertised hex sum before anything touches disk —
+// a replica never trusts the wire. The write itself is Put, so ingest
+// and local renders share the refcounted blob space and LRU policy.
+func (s *Store) Ingest(key Key, data []byte, hexSum, media, ext string) error {
+	want, err := hex.DecodeString(hexSum)
+	if err != nil || len(want) != sha256.Size {
+		return fmt.Errorf("store: ingest %s: malformed content sum %q", key.id(), hexSum)
+	}
+	sum := sha256.Sum256(data)
+	if !bytes.Equal(sum[:], want) {
+		return fmt.Errorf("store: ingest %s: content does not match advertised sum %s", key.id(), hexSum)
+	}
+	return s.Put(key, data, sum, media, ext)
+}
+
 // writeBlob writes the content under its hash name, atomically. An
 // existing blob is trusted: its name is its hash, and Get re-verifies.
 func (s *Store) writeBlob(hexSum string, data []byte) error {

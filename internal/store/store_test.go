@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -371,5 +372,90 @@ func TestPurgeRemovesEverything(t *testing.T) {
 	}
 	if reopened := mustOpen(t, dir); reopened.Len() != 0 {
 		t.Fatalf("purged store reopened with %d rows", reopened.Len())
+	}
+}
+
+// TestIngestVerifiesContent: a replica push whose bytes do not match the
+// advertised sum must be rejected before anything reaches the index.
+func TestIngestVerifiesContent(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	key := machineKey("commit", "fpaa", "text")
+	data := []byte("propagated artefact")
+	sum := sha256.Sum256(data)
+
+	if err := s.Ingest(key, data, "zz-not-hex", "text/plain", ".txt"); err == nil {
+		t.Fatal("Ingest accepted a malformed sum")
+	}
+	wrong := sha256.Sum256([]byte("other bytes"))
+	if err := s.Ingest(key, data, hex.EncodeToString(wrong[:]), "text/plain", ".txt"); err == nil {
+		t.Fatal("Ingest accepted mismatched content")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("rejected ingests left %d index rows", s.Len())
+	}
+	if err := s.Ingest(key, data, hex.EncodeToString(sum[:]), "text/plain", ".txt"); err != nil {
+		t.Fatal(err)
+	}
+	got, gotSum, _, _, ok := s.Get(key)
+	if !ok || string(got) != string(data) || gotSum != sum {
+		t.Fatalf("Get after ingest = %q, %v", got, ok)
+	}
+}
+
+// TestConcurrentIngestSameBlob: many writers racing to ingest the same
+// content-addressed blob — under the same key and under a second key
+// sharing the bytes — must leave a consistent index: one entry per key,
+// the shared blob's bytes counted once, and a clean replay on reopen.
+func TestConcurrentIngestSameBlob(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	data := []byte("shared replica bytes")
+	sum := sha256.Sum256(data)
+	hexSum := hex.EncodeToString(sum[:])
+	keyA := machineKey("commit", "fp-shared", "text")
+	keyB := machineKey("commit", "fp-shared", "dot")
+
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		key := keyA
+		if i%2 == 1 {
+			key = keyB
+		}
+		wg.Add(1)
+		go func(key Key) {
+			defer wg.Done()
+			errs <- s.Ingest(key, data, hexSum, "text/plain", ".txt")
+		}(key)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := s.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 (one per key)", st.Entries)
+	}
+	if st.Bytes != int64(len(data)) {
+		t.Fatalf("bytes = %d, want %d (shared blob counted once)", st.Bytes, len(data))
+	}
+	for _, key := range []Key{keyA, keyB} {
+		got, gotSum, _, _, ok := s.Get(key)
+		if !ok || string(got) != string(data) || gotSum != sum {
+			t.Fatalf("Get(%v) = %q, %v", key, got, ok)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened := mustOpen(t, dir)
+	if st := reopened.Stats(); st.Entries != 2 || st.Bytes != int64(len(data)) {
+		t.Fatalf("reopened stats = %+v", st)
 	}
 }
